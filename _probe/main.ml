@@ -1,0 +1,16 @@
+open Eden_netsim
+module Time = Eden_base.Time
+let () =
+  let net = Net.create ~seed:1L () in
+  let sw = Net.add_switch net in
+  let hosts = List.init 3 (fun _ -> Net.add_host net) in
+  List.iter (fun h ->
+    let port = Net.connect_host net h sw ~rate_bps:1e9 () in
+    Switch.set_dst_route sw ~dst:(Host.id h) ~ports:[ port ]) hosts;
+  let on_complete fc =
+    Printf.printf "flow done: fct=%.3f ms retx=%d\n"
+      (Time.to_ms (Time.sub fc.Tcp.Sender.fc_completed fc.Tcp.Sender.fc_started))
+      fc.Tcp.Sender.fc_retransmissions in
+  ignore (Net.start_flow net ~src:0 ~dst:2 ~size:2_500_000 ~on_complete ());
+  ignore (Net.start_flow net ~src:1 ~dst:2 ~size:2_500_000 ~on_complete ());
+  Net.run net
