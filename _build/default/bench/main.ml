@@ -1,0 +1,465 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§5) plus micro-benchmarks and ablations.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- fig9 fig11   -- selected sections
+     dune exec bench/main.exe -- quick        -- everything, scaled down
+
+   Sections: table1 table2 listings footprint micro fig9 fig10 fig11
+             fig12 ablations *)
+
+module Time = Eden_base.Time
+module Metadata = Eden_base.Metadata
+module Addr = Eden_base.Addr
+module Packet = Eden_base.Packet
+module Enclave = Eden_enclave.Enclave
+module Interp = Eden_bytecode.Interp
+module P = Eden_bytecode.Program
+module Stage = Eden_stage.Stage
+module Builtin = Eden_stage.Builtin
+open Eden_experiments
+
+let section_header title =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
+
+(* ------------------------------------------------------------------ *)
+(* Generic table printing *)
+
+let print_table rows =
+  match rows with
+  | [] -> ()
+  | header :: _ ->
+    let cols = List.length header in
+    let width c =
+      List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 rows
+    in
+    let widths = List.init cols width in
+    let print_row row =
+      List.iteri
+        (fun i cell -> Printf.printf "%-*s  " (List.nth widths i) cell)
+        row;
+      print_newline ()
+    in
+    print_row header;
+    Printf.printf "%s\n" (String.make (List.fold_left ( + ) (2 * cols) widths) '-');
+    List.iter print_row (List.tl rows)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 *)
+
+let table1 () =
+  section_header "Table 1: network functions and their data-plane requirements";
+  print_table (Eden_functions.Catalog.to_table ())
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: stage classification capabilities *)
+
+let table2 () =
+  section_header "Table 2: classification capabilities of the built-in stages";
+  let stages =
+    [ Builtin.memcached (); Builtin.http (); Builtin.storage (); Builtin.flow () ]
+  in
+  let rows =
+    [ "Stage"; "Classifiers"; "Meta-data" ]
+    :: List.map
+         (fun st ->
+           let info = Stage.Api.get_stage_info st in
+           [
+             info.Stage.stage_name;
+             "<" ^ String.concat ", " info.Stage.classifier_fields ^ ">";
+             "{msg_id"
+             ^ (match info.Stage.metadata_fields with
+               | [] -> "}"
+               | fs -> ", " ^ String.concat ", " fs ^ "}");
+           ])
+         stages
+  in
+  print_table rows
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel, on this machine's real interpreter) *)
+
+let make_interp_env p =
+  Interp.make_env p
+    ~scalars:
+      (Array.map
+         (fun (s : P.scalar_slot) ->
+           match s.P.s_name with
+           | "Size" -> 1058L
+           | "PayloadSize" -> 1000L
+           | "FlowSize" -> 500_000L
+           | "OpSize" -> 65_536L
+           | "IsRead" -> 1L
+           | "Tenant" -> 1L
+           | "DstPort" -> 80L
+           | "SrcHost" -> 1L
+           | _ -> 0L)
+         p.P.scalar_slots)
+    ~arrays:
+      (Array.map
+         (fun (a : P.array_slot) ->
+           match a.P.a_name with
+           | "Thresholds" | "Limits" -> [| 10_240L; 1_048_576L |]
+           | "Paths" -> [| 1L; 909L; 2L; 91L |]
+           | "QueueMap" -> [| 0L; 1L |]
+           | "Knocks" -> [| 1111L; 2222L; 3333L |]
+           | "State" -> Array.make 16 0L
+           | "ReplicaLabels" -> [| 301L; 302L |]
+           | _ -> [||])
+         p.P.array_slots)
+
+let pias_process_enclave variant =
+  let e = Enclave.create ~host:1 () in
+  (match Eden_functions.Pias.install ~variant e ~thresholds:[| 10_240L; 1_048_576L |] with
+  | Ok () -> ()
+  | Error msg -> invalid_arg msg);
+  e
+
+let bench_packet () =
+  Packet.make ~id:1L
+    ~flow:
+      (Addr.five_tuple ~src:(Addr.endpoint 1 1000) ~dst:(Addr.endpoint 2 80)
+         ~proto:Addr.Tcp)
+    ~kind:Packet.Data ~payload:1000 ()
+
+let run_bechamel tests =
+  let open Bechamel in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"micro" tests) in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let merged = Analyze.merge ols instances results in
+  let clock_label = Measure.label Toolkit.Instance.monotonic_clock in
+  let tbl = Hashtbl.find merged clock_label in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> (name, est) :: acc
+      | Some [] | None -> acc)
+    tbl []
+  |> List.sort compare
+
+let micro () =
+  section_header "Micro-benchmarks: real interpreter cost on this machine (Bechamel)";
+  let open Bechamel in
+  let interp_test name program =
+    let env = make_interp_env program in
+    let rng = Eden_base.Rng.create 3L in
+    Test.make ~name:("interp/" ^ name)
+      (Staged.stage (fun () ->
+           ignore (Interp.run program ~env ~now:(Eden_base.Time.us 5) ~rng)))
+  in
+  let ei = pias_process_enclave `Interpreted in
+  let en = pias_process_enclave `Native in
+  let e0 = Enclave.create ~host:1 () in
+  let pkt = bench_packet () in
+  let stage = Builtin.memcached () in
+  (match
+     Stage.Api.create_stage_rule stage ~ruleset:"r1"
+       ~classifier:[ (Builtin.Field.msg_type, Eden_stage.Classifier.eq_str "GET") ]
+       ~class_name:"GET" ~metadata_fields:[ "msg_size" ]
+   with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg msg);
+  let descriptor = Builtin.memcached_descriptor ~op:`Get ~key:"user:1" ~size:1024 in
+  let scratch_test name program =
+    let env = make_interp_env program in
+    let scratch = Interp.make_scratch program in
+    let rng = Eden_base.Rng.create 3L in
+    Test.make ~name:("interp/" ^ name ^ " (scratch)")
+      (Staged.stage (fun () ->
+           ignore (Interp.run ~scratch program ~env ~now:(Eden_base.Time.us 5) ~rng)))
+  in
+  let tests =
+    [
+      interp_test "pias" (Eden_functions.Pias.program ());
+      scratch_test "pias" (Eden_functions.Pias.program ());
+      interp_test "wcmp" (Eden_functions.Wcmp.program ());
+      interp_test "pulsar" (Eden_functions.Pulsar.program ());
+      interp_test "port_knocking" (Eden_functions.Port_knocking.program ());
+      Test.make ~name:"enclave/process interpreted pias"
+        (Staged.stage (fun () -> ignore (Enclave.process ei ~now:(Eden_base.Time.us 1) pkt)));
+      Test.make ~name:"enclave/process native pias"
+        (Staged.stage (fun () -> ignore (Enclave.process en ~now:(Eden_base.Time.us 1) pkt)));
+      Test.make ~name:"enclave/process no-policy"
+        (Staged.stage (fun () -> ignore (Enclave.process e0 ~now:(Eden_base.Time.us 1) pkt)));
+      Test.make ~name:"stage/classify memcached"
+        (Staged.stage (fun () -> ignore (Stage.classify stage descriptor)));
+      Test.make ~name:"compiler/compile pias"
+        (Staged.stage (fun () ->
+             ignore
+               (Eden_lang.Compile.compile Eden_functions.Pias.schema
+                  Eden_functions.Pias.action)));
+    ]
+  in
+  let results = run_bechamel tests in
+  Printf.printf "%-42s %14s\n" "benchmark" "ns/iteration";
+  Printf.printf "%s\n" (String.make 58 '-');
+  List.iter (fun (name, ns) -> Printf.printf "%-42s %14.1f\n" name ns) results;
+  (* Calibration: ns per interpreter step for PIAS. *)
+  match List.assoc_opt "micro/interp/pias" results with
+  | Some ns -> (
+    let p = Eden_functions.Pias.program () in
+    let env = make_interp_env p in
+    match Interp.run p ~env ~now:(Eden_base.Time.us 5) ~rng:(Eden_base.Rng.create 3L) with
+    | Ok stats ->
+      Printf.printf
+        "\ncalibration: PIAS runs %d steps -> measured %.2f ns/step (cost model: %.1f)\n"
+        stats.Interp.steps
+        (ns /. float_of_int stats.Interp.steps)
+        Eden_enclave.Cost.os_model.Eden_enclave.Cost.per_step_ns
+    | Error _ -> ())
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let ablation_message_vs_packet_wcmp quick =
+  Printf.printf "\nAblation: packet-level vs message-level WCMP (Fig. 2's two functions)\n";
+  let params =
+    if quick then { Fig10.default_params with runs = 2; duration = Time.ms 100 }
+    else { Fig10.default_params with runs = 3 }
+  in
+  let pkt = Fig10.run_config params Fig10.Wcmp Fig10.Eden in
+  let message_goodput =
+    let open Eden_netsim in
+    let run seed =
+      let net = Net.create ~seed () in
+      let sa = Net.add_switch net in
+      let sb = Net.add_switch net in
+      let h0 = Net.add_host net in
+      let h1 = Net.add_host net in
+      let p0 = Net.connect_host net h0 sa ~rate_bps:20e9 () in
+      Switch.set_dst_route sa ~dst:(Host.id h0) ~ports:[ p0 ];
+      let p1 = Net.connect_host net h1 sb ~rate_bps:20e9 () in
+      Switch.set_dst_route sb ~dst:(Host.id h1) ~ports:[ p1 ];
+      let fa, fb = Net.connect_switches net sa sb ~rate_bps:10e9 () in
+      let sl_a, _ = Net.connect_switches net sa sb ~rate_bps:1e9 () in
+      Switch.set_label_route sa ~label:1 ~port:fa;
+      Switch.set_label_route sa ~label:2 ~port:sl_a;
+      Switch.set_label_route sb ~label:1 ~port:p1;
+      Switch.set_label_route sb ~label:2 ~port:p1;
+      Switch.set_dst_route sb ~dst:(Host.id h0) ~ports:[ fb ];
+      Switch.set_dst_route sa ~dst:(Host.id h1) ~ports:[ fa ];
+      let e = Enclave.create ~placement:Enclave.Nic ~host:(Host.id h0) ~seed () in
+      (match
+         Eden_functions.Wcmp.install ~variant:`Message e ~matrix:[| 1L; 909L; 2L; 91L |]
+       with
+      | Ok () -> ()
+      | Error msg -> invalid_arg msg);
+      Host.set_enclave h0 e;
+      (* Message-level balancing needs many concurrent messages; run 16
+         flows (each flow = one message under enclave classification). *)
+      let flows =
+        List.init 16 (fun _ -> Net.open_flow net ~src:(Host.id h0) ~dst:(Host.id h1) ())
+      in
+      List.iter
+        (fun f ->
+          Tcp.Sender.send_message f.Net.f_sender 80_000_000;
+          Tcp.Sender.close f.Net.f_sender)
+        flows;
+      Net.run ~until:params.Fig10.duration net;
+      let bytes =
+        List.fold_left
+          (fun acc f -> acc + Tcp.Receiver.bytes_delivered f.Net.f_receiver)
+          0 flows
+      in
+      Eden_base.Stats.mbps ~bytes_transferred:bytes ~duration:params.Fig10.duration
+    in
+    (run 77L +. run 78L) /. 2.0
+  in
+  Printf.printf "  per-packet WCMP : %8.0f Mbps (max balance, TCP reordering)\n"
+    pkt.Fig10.goodput_mbps;
+  Printf.printf "  per-message WCMP: %8.0f Mbps (no reordering, coarser balance)\n"
+    message_goodput
+
+let ablation_concurrency () =
+  Printf.printf "\nAblation: concurrency level derived from access annotations (§3.4.4)\n";
+  let e = Enclave.create ~host:1 () in
+  let install name f = match f with Ok () -> ignore name | Error m -> invalid_arg m in
+  install "pias" (Eden_functions.Pias.install e ~thresholds:[| 10_240L |]);
+  install "sff" (Eden_functions.Sff.install e ~thresholds:[| 10_240L |]);
+  install "wcmp" (Eden_functions.Wcmp.install e ~matrix:[| 1L; 1000L |]);
+  install "knock"
+    (Eden_functions.Port_knocking.install e ~knocks:[ 1; 2 ] ~protected_port:22
+       ~max_hosts:4);
+  List.iter
+    (fun name ->
+      match Enclave.concurrency_of e name with
+      | Some level ->
+        Printf.printf "  %-16s %s\n" name
+          (match level with
+          | `Parallel -> "parallel (read-only state)"
+          | `Per_message -> "per-message (writes message state)"
+          | `Serial -> "serial (writes global state)")
+      | None -> ())
+    [ "sff"; "wcmp"; "pias"; "port_knocking" ]
+
+let ablation_fault_isolation () =
+  Printf.printf "\nAblation: fault isolation — a faulty action cannot take the host down\n";
+  let e = Enclave.create ~host:1 () in
+  (* An action that loops forever: the step budget terminates it. *)
+  let looping =
+    let open Eden_lang.Dsl in
+    action "looper" (while_ tru (set_pkt "Priority" (int 1)))
+  in
+  let p =
+    match
+      Eden_lang.Compile.compile ~step_limit:2_000
+        (Eden_lang.Schema.with_standard_packet ())
+        looping
+    with
+    | Ok p -> p
+    | Error e -> invalid_arg (Eden_lang.Compile.error_to_string e)
+  in
+  (match
+     Enclave.install_action e
+       { Enclave.i_name = "looper"; i_impl = Enclave.Interpreted p; i_msg_sources = [] }
+   with
+  | Ok () -> ()
+  | Error msg -> invalid_arg msg);
+  (match
+     Enclave.add_table_rule e ~pattern:Eden_base.Class_name.Pattern.any ~action:"looper" ()
+   with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg msg);
+  let pkt = bench_packet () in
+  let forwarded = ref 0 in
+  for i = 1 to 1000 do
+    match Enclave.process e ~now:(Time.us i) pkt with
+    | Enclave.Forward _ -> incr forwarded
+    | Enclave.Dropped _ -> ()
+  done;
+  let c = Enclave.counters e in
+  Printf.printf
+    "  1000 packets through an infinitely-looping action: %d forwarded, %d faults recorded\n"
+    !forwarded c.Enclave.faults;
+  match Enclave.faults e with
+  | { Enclave.fr_fault = Eden_bytecode.Interp.Step_limit_exceeded _; _ } :: _ ->
+    Printf.printf "  every invocation was cut off by the %d-step budget (fail-open)\n" 2_000
+  | _ -> Printf.printf "  unexpected fault kind\n"
+
+let ablation_reorder_tolerant_tcp quick =
+  Printf.printf
+    "\nAblation: vanilla vs reorder-tolerant TCP under per-packet WCMP (paper 5.2, [53])\n";
+  let base =
+    if quick then { Fig10.default_params with runs = 2; duration = Time.ms 100 }
+    else { Fig10.default_params with runs = 3 }
+  in
+  List.iter
+    (fun threshold ->
+      let params = { base with Fig10.dupack_threshold = threshold } in
+      let r = Fig10.run_config params Fig10.Wcmp Fig10.Eden in
+      Printf.printf "  dupack threshold %3d: %8.0f Mbps (retx/run %d)\n" threshold
+        r.Fig10.goodput_mbps r.Fig10.retransmissions)
+    [ 3; 10; 50 ];
+  Printf.printf "  (min-cut of the topology: 11000 Mbps)\n"
+
+let ablation_batching () =
+  Printf.printf "\nAblation: IO batching amortizes classification (paper 6)\n";
+  let overhead batch =
+    let e = pias_process_enclave `Interpreted in
+    let f =
+      Addr.five_tuple ~src:(Addr.endpoint 1 1000) ~dst:(Addr.endpoint 2 80) ~proto:Addr.Tcp
+    in
+    let n = 20_000 in
+    let i = ref 0 in
+    while !i < n do
+      let batch_pkts =
+        List.init (min batch (n - !i)) (fun k ->
+            Packet.make ~id:(Int64.of_int (!i + k)) ~flow:f ~kind:Packet.Data
+              ~payload:1000 ())
+      in
+      ignore (Enclave.process_batch e ~now:(Time.us !i) batch_pkts);
+      i := !i + batch
+    done;
+    Eden_enclave.Cost.Accum.overhead_pct (Enclave.cost e) ~api:true ~enclave:true
+      ~interp:true
+  in
+  List.iter
+    (fun b -> Printf.printf "  batch %3d: total overhead %5.2f%%\n" b (overhead b))
+    [ 1; 8; 32 ]
+
+let ablation_pias_over_dctcp quick =
+  Printf.printf
+    "\nAblation: PIAS over vanilla TCP vs DCTCP (PIAS's native transport)\n";
+  let base =
+    if quick then
+      { Fig9.default_params with runs = 2; duration = Time.ms 120; link_rate_bps = 10e9 }
+    else { Fig9.default_params with runs = 3; link_rate_bps = 10e9 }
+  in
+  List.iter
+    (fun ecn ->
+      let r = Fig9.run_config { base with Fig9.ecn } Fig9.Pias Fig9.Eden in
+      Printf.printf "  %-12s small avg %6.0fus p95 %6.0fus | inter avg %6.0fus p95 %6.0fus\n"
+        (if ecn then "DCTCP" else "vanilla TCP")
+        r.Fig9.small.Fig9.avg_us r.Fig9.small.Fig9.p95_us r.Fig9.intermediate.Fig9.avg_us
+        r.Fig9.intermediate.Fig9.p95_us)
+    [ false; true ]
+
+let ablations quick =
+  section_header "Ablations";
+  ablation_message_vs_packet_wcmp quick;
+  ablation_reorder_tolerant_tcp quick;
+  ablation_pias_over_dctcp quick;
+  ablation_batching ();
+  ablation_concurrency ();
+  ablation_fault_isolation ()
+
+(* ------------------------------------------------------------------ *)
+(* Driver *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let sections = List.filter (fun a -> a <> "quick") args in
+  let want s = sections = [] || List.mem s sections in
+  let t0 = Unix.gettimeofday () in
+  if want "table1" then table1 ();
+  if want "table2" then table2 ();
+  if want "listings" then begin
+    section_header "Program listings (paper Figs. 2, 3, 4/7)";
+    Listings.print ()
+  end;
+  if want "footprint" then begin
+    section_header "Interpreter footprint (paper 5.4)";
+    Footprint.print (Footprint.run ())
+  end;
+  if want "micro" then micro ();
+  if want "fig9" then begin
+    section_header "Figure 9 (case study 1: flow scheduling)";
+    let params =
+      if quick then
+        { Fig9.default_params with runs = 2; duration = Time.ms 120; link_rate_bps = 10e9 }
+      else { Fig9.default_params with link_rate_bps = 10e9 }
+    in
+    Fig9.print (Fig9.run_all ~params ())
+  end;
+  if want "fig10" then begin
+    section_header "Figure 10 (case study 2: WCMP load balancing)";
+    let params =
+      if quick then { Fig10.default_params with runs = 2; duration = Time.ms 100 }
+      else Fig10.default_params
+    in
+    Fig10.print (Fig10.run_all ~params ())
+  end;
+  if want "fig11" then begin
+    section_header "Figure 11 (case study 3: Pulsar rate control)";
+    let params =
+      if quick then { Fig11.default_params with duration = Time.ms 250 }
+      else Fig11.default_params
+    in
+    Fig11.print (Fig11.run_all ~params ())
+  end;
+  if want "fig12" then begin
+    section_header "Figure 12 (CPU overheads)";
+    let params =
+      if quick then { Fig12.default_params with duration = Time.ms 80 }
+      else Fig12.default_params
+    in
+    Fig12.print (Fig12.run ~params ())
+  end;
+  if want "ablations" then ablations quick;
+  Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+examples/custom_function.ml: Array Eden_base Eden_bytecode Eden_enclave Eden_lang Int64 Printf Result String

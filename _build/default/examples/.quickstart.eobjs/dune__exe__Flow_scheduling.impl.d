@@ -1,0 +1,1 @@
+examples/flow_scheduling.ml: Eden_base Eden_experiments List Printf

@@ -1,0 +1,1 @@
+examples/flow_scheduling.mli:

@@ -1,0 +1,1 @@
+examples/incast.ml: Array Eden_base Eden_enclave Eden_functions Eden_netsim Int64 List Printf

@@ -1,0 +1,1 @@
+examples/load_balancing.ml: Eden_base Eden_controller Eden_experiments Float List Printf String

@@ -1,0 +1,1 @@
+examples/memcached_qos.ml: Eden_base Eden_enclave Eden_functions Eden_netsim Eden_stage Eden_workloads Float List Printf

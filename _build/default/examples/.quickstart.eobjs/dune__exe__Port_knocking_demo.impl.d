@@ -1,0 +1,1 @@
+examples/port_knocking_demo.ml: Eden_base Eden_enclave Eden_functions Eden_lang Int64 List Printf String

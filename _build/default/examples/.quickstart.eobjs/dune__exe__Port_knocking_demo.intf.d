@@ -1,0 +1,1 @@
+examples/port_knocking_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Eden_base Eden_bytecode Eden_enclave Eden_lang Eden_stage Int64 List Option Printf Result String

@@ -1,0 +1,1 @@
+examples/replica_selection.ml: Array Eden_base Eden_enclave Eden_functions Eden_netsim Eden_stage Hashtbl Int64 List Printf

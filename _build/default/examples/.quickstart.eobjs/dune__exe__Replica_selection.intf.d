@@ -1,0 +1,1 @@
+examples/replica_selection.mli:

@@ -1,0 +1,1 @@
+examples/tenant_qos.ml: Eden_base Eden_experiments List Printf

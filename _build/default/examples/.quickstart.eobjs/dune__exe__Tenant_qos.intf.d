@@ -1,0 +1,1 @@
+examples/tenant_qos.mli:

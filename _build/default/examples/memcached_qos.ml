@@ -1,0 +1,83 @@
+(* Application-level QoS: prioritize memcached GETs over PUTs.
+
+   The paper's opening example of why the data plane needs application
+   semantics (§1): a GET and a PUT look identical to a header-matching
+   data plane, but their latency requirements differ completely.  Here a
+   client hammers its uplink with bulk PUT uploads while issuing small
+   GETs; the memcached stage classifies both, and the App_priority
+   action function lets GET packets overtake PUT bytes in every queue.
+
+   Run with: dune exec examples/memcached_qos.exe *)
+
+module Time = Eden_base.Time
+module Net = Eden_netsim.Net
+module Host = Eden_netsim.Host
+module Switch = Eden_netsim.Switch
+module Event = Eden_netsim.Event
+module Enclave = Eden_enclave.Enclave
+module Kv = Eden_workloads.Memcached_app
+module Stage = Eden_stage.Stage
+module Classifier = Eden_stage.Classifier
+module Stats = Eden_base.Stats
+
+let ok_or_die = function Ok v -> v | Error msg -> failwith msg
+
+let run ~policy =
+  let net = Net.create ~seed:7L () in
+  let sw = Net.add_switch net in
+  let client_host = Net.add_host net in
+  let server_host = Net.add_host net in
+  List.iter
+    (fun h ->
+      let p = Net.connect_host net h sw ~rate_bps:1e9 () in
+      Switch.set_dst_route sw ~dst:(Host.id h) ~ports:[ p ])
+    [ client_host; server_host ];
+  let srv = Kv.server ~net ~host:(Host.id server_host) ~default_value_bytes:1000 () in
+  let cl = Kv.client ~net ~server:srv ~host:(Host.id client_host) () in
+  (* The controller programs the stage with Fig. 6-style GET/PUT rules. *)
+  List.iter
+    (fun (classifier_value, class_name) ->
+      ignore
+        (ok_or_die
+           (Stage.Api.create_stage_rule (Kv.stage cl) ~ruleset:"r1"
+              ~classifier:[ ("msg_type", Classifier.eq_str classifier_value) ]
+              ~class_name
+              ~metadata_fields:[ "msg_type"; "msg_size" ])))
+    [ ("GET", "GET"); ("PUT", "PUT") ];
+  if policy then begin
+    let e = Enclave.create ~host:(Host.id client_host) () in
+    ok_or_die
+      (Eden_functions.App_priority.install e ~match_msg_type:"GET" ~match_priority:6
+         ~other_priority:1);
+    Host.set_enclave client_host e
+  end;
+  (* Two endless bulk PUT streams keep the uplink saturated. *)
+  let rec put_loop key () =
+    Kv.put cl ~key ~size:500_000 ~on_reply:(fun _ -> put_loop key ()) ()
+  in
+  put_loop "backup:a" ();
+  put_loop "backup:b" ();
+  (* Interactive GETs every 3 ms. *)
+  let rec get_loop i =
+    if i < 30 then
+      Event.schedule_at (Net.event net) (Time.mul (Time.ms 3) i) (fun () ->
+          Kv.get cl ~key:"session:42" ();
+          get_loop (i + 1))
+  in
+  get_loop 1;
+  Net.run ~until:(Time.ms 120) net;
+  let lats = Stats.Samples.of_list (Kv.get_latencies_us cl) in
+  (Stats.Samples.mean lats, Stats.Samples.percentile lats 95.0, Stats.Samples.count lats)
+
+let () =
+  Printf.printf
+    "memcached GETs competing with bulk PUT uploads on a 1 Gbps uplink:\n\n";
+  let fifo_avg, fifo_p95, n1 = run ~policy:false in
+  let prio_avg, prio_p95, n2 = run ~policy:true in
+  Printf.printf "  %-22s %12s %12s %6s\n" "" "GET avg" "GET p95" "n";
+  Printf.printf "  %-22s %10.0fus %10.0fus %6d\n" "FIFO (no policy)" fifo_avg fifo_p95 n1;
+  Printf.printf "  %-22s %10.0fus %10.0fus %6d\n" "GETs prioritized" prio_avg prio_p95 n2;
+  Printf.printf
+    "\nThe enclave classifies by the stage's message type and the GET path\n\
+     never waits behind PUT bytes: a %.0fx improvement in mean GET latency.\n"
+    (fifo_avg /. Float.max 1.0 prio_avg)

@@ -1,0 +1,1 @@
+lib/base/addr.mli: Format Hashtbl Map

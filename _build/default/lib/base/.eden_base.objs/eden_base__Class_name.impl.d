@@ -1,0 +1,1 @@
+lib/base/class_name.ml: Format Map Printf Set Stdlib String

@@ -1,0 +1,1 @@
+lib/base/class_name.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/base/dist.ml: Array Float List Rng Time

@@ -1,0 +1,1 @@
+lib/base/dist.mli: Rng Time

@@ -1,0 +1,1 @@
+lib/base/metadata.ml: Class_name Format Int64 List Map String

@@ -1,0 +1,1 @@
+lib/base/metadata.mli: Class_name Format

@@ -1,0 +1,1 @@
+lib/base/stats.ml: Array Float List Stdlib Time

@@ -1,0 +1,1 @@
+lib/base/time.ml: Float Format Int64 Stdlib

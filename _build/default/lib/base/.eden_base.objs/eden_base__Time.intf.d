@@ -1,0 +1,1 @@
+lib/base/time.mli: Format

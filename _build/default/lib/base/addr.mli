@@ -1,0 +1,41 @@
+(** Network endpoints.
+
+    Hosts in the simulated datacenter are identified by small integers; an
+    endpoint is a host plus a port.  The classic IP five-tuple is the flow
+    key used by the enclave's built-in packet classifier. *)
+
+type host = int
+(** Identifier of a simulated host (also used as its "IP address"). *)
+
+type port = int
+
+type proto = Tcp | Udp
+
+val proto_to_string : proto -> string
+val proto_of_string : string -> proto option
+
+type endpoint = { host : host; port : port }
+
+val endpoint : host -> port -> endpoint
+val pp_endpoint : Format.formatter -> endpoint -> unit
+
+type five_tuple = {
+  src : endpoint;
+  dst : endpoint;
+  proto : proto;
+}
+
+val five_tuple : src:endpoint -> dst:endpoint -> proto:proto -> five_tuple
+
+val reverse : five_tuple -> five_tuple
+(** Swap source and destination (the key of reply traffic). *)
+
+val compare_five_tuple : five_tuple -> five_tuple -> int
+val equal_five_tuple : five_tuple -> five_tuple -> bool
+val hash_five_tuple : five_tuple -> int
+(** Deterministic hash used by ECMP-style switches. *)
+
+val pp_five_tuple : Format.formatter -> five_tuple -> unit
+
+module Flow_map : Map.S with type key = five_tuple
+module Flow_table : Hashtbl.S with type key = five_tuple

@@ -1,0 +1,91 @@
+module Zipf = struct
+  type t = { cdf : float array }
+
+  let create ~n ~alpha =
+    if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+    let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) alpha) in
+    let total = Array.fold_left ( +. ) 0.0 w in
+    let acc = ref 0.0 in
+    let cdf =
+      Array.map
+        (fun x ->
+          acc := !acc +. (x /. total);
+          !acc)
+        w
+    in
+    cdf.(n - 1) <- 1.0;
+    { cdf }
+
+  let sample t rng =
+    let u = Rng.float rng 1.0 in
+    (* Binary search for the first index with cdf >= u. *)
+    let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo
+end
+
+module Empirical_cdf = struct
+  type t = { values : float array; probs : float array }
+
+  let create points =
+    if points = [] then invalid_arg "Empirical_cdf.create: empty";
+    let values = Array.of_list (List.map fst points) in
+    let probs = Array.of_list (List.map snd points) in
+    let n = Array.length probs in
+    for i = 1 to n - 1 do
+      if probs.(i) < probs.(i - 1) || values.(i) < values.(i - 1) then
+        invalid_arg "Empirical_cdf.create: points must be non-decreasing"
+    done;
+    if abs_float (probs.(n - 1) -. 1.0) > 1e-9 then
+      invalid_arg "Empirical_cdf.create: cdf must end at 1.0";
+    { values; probs }
+
+  let quantile t u =
+    let u = Float.min 1.0 (Float.max 0.0 u) in
+    let n = Array.length t.probs in
+    if u <= t.probs.(0) then t.values.(0)
+    else begin
+      (* First index with probs >= u. *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if t.probs.(mid) >= u then hi := mid else lo := mid + 1
+      done;
+      let i = !lo in
+      let p0 = t.probs.(i - 1) and p1 = t.probs.(i) in
+      let v0 = t.values.(i - 1) and v1 = t.values.(i) in
+      if p1 -. p0 <= 0.0 then v1 else v0 +. ((u -. p0) /. (p1 -. p0) *. (v1 -. v0))
+    end
+
+  let sample t rng = quantile t (Rng.float rng 1.0)
+
+  let mean t =
+    let n = Array.length t.probs in
+    let acc = ref (t.values.(0) *. t.probs.(0)) in
+    for i = 1 to n - 1 do
+      let dp = t.probs.(i) -. t.probs.(i - 1) in
+      acc := !acc +. (dp *. (t.values.(i) +. t.values.(i - 1)) /. 2.0)
+    done;
+    !acc
+end
+
+module Pareto = struct
+  type t = { xmin : float; xmax : float; alpha : float }
+
+  let create ~xmin ~xmax ~alpha =
+    if xmin <= 0.0 || xmax < xmin || alpha <= 0.0 then
+      invalid_arg "Pareto.create: need 0 < xmin <= xmax and alpha > 0";
+    { xmin; xmax; alpha }
+
+  let sample t rng =
+    let u = Rng.float rng 1.0 in
+    let la = Float.pow t.xmin t.alpha and ha = Float.pow t.xmax t.alpha in
+    Float.pow (-.((u *. ha) -. (u *. la) -. ha) /. (ha *. la)) (-1.0 /. t.alpha)
+end
+
+let poisson_gap rng ~rate_per_sec =
+  if rate_per_sec <= 0.0 then invalid_arg "Dist.poisson_gap: rate must be positive";
+  Time.of_float_ns (Rng.exponential rng (1e9 /. rate_per_sec))

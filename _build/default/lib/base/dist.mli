@@ -1,0 +1,42 @@
+(** Samplers for workload generation. *)
+
+(** Zipf-distributed ranks, the classic model for key popularity in
+    key-value stores. *)
+module Zipf : sig
+  type t
+
+  val create : n:int -> alpha:float -> t
+  (** Ranks [0 .. n-1]; [alpha] is the skew (1.0 ≈ classic Zipf). *)
+
+  val sample : t -> Rng.t -> int
+end
+
+(** Piecewise-linear empirical CDF, used for flow-size distributions
+    published as (size, cumulative probability) points. *)
+module Empirical_cdf : sig
+  type t
+
+  val create : (float * float) list -> t
+  (** Points as [(value, cdf)] with cdf non-decreasing, ending at 1.0.
+      @raise Invalid_argument on an empty or non-monotone list. *)
+
+  val sample : t -> Rng.t -> float
+  (** Inverse-transform sampling with linear interpolation. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t u] for [u] in [0,1]. *)
+
+  val mean : t -> float
+  (** Mean of the piecewise-linear distribution. *)
+end
+
+(** Bounded Pareto, a standard heavy-tailed flow-size model. *)
+module Pareto : sig
+  type t
+
+  val create : xmin:float -> xmax:float -> alpha:float -> t
+  val sample : t -> Rng.t -> float
+end
+
+val poisson_gap : Rng.t -> rate_per_sec:float -> Time.t
+(** Inter-arrival gap of a Poisson process with the given rate. *)

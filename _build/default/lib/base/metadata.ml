@@ -1,0 +1,74 @@
+type value = Int of int64 | Str of string
+
+let int i = Int (Int64.of_int i)
+let int64 i = Int i
+let str s = Str s
+let value_to_string = function Int i -> Int64.to_string i | Str s -> s
+
+let equal_value a b =
+  match (a, b) with
+  | Int x, Int y -> Int64.equal x y
+  | Str x, Str y -> String.equal x y
+  | Int _, Str _ | Str _, Int _ -> false
+
+let pp_value fmt = function
+  | Int i -> Format.fprintf fmt "%Ld" i
+  | Str s -> Format.fprintf fmt "%S" s
+
+module Smap = Map.Make (String)
+
+type t = {
+  msg_id : int64 option;
+  fields : value Smap.t;
+  classes : Class_name.t list; (* newest first *)
+}
+
+let empty = { msg_id = None; fields = Smap.empty; classes = [] }
+let with_msg_id id t = { t with msg_id = Some id }
+let msg_id t = t.msg_id
+let add field v t = { t with fields = Smap.add field v t.fields }
+let find field t = Smap.find_opt field t.fields
+
+let find_int field t =
+  match find field t with Some (Int i) -> Some i | Some (Str _) | None -> None
+
+let find_str field t =
+  match find field t with Some (Str s) -> Some s | Some (Int _) | None -> None
+
+let mem field t = Smap.mem field t.fields
+let fields t = Smap.bindings t.fields
+
+let add_class c t =
+  if List.exists (Class_name.equal c) t.classes then t
+  else { t with classes = c :: t.classes }
+
+let classes t = List.rev t.classes
+let has_class c t = List.exists (Class_name.equal c) t.classes
+
+let union a b =
+  let msg_id = match b.msg_id with Some _ as id -> id | None -> a.msg_id in
+  let fields = Smap.union (fun _ _ vb -> Some vb) a.fields b.fields in
+  let classes =
+    List.fold_left (fun acc c -> if List.exists (Class_name.equal c) acc then acc else c :: acc)
+      a.classes (List.rev b.classes)
+  in
+  { msg_id; fields; classes }
+
+let pp fmt t =
+  let pp_field fmt (k, v) = Format.fprintf fmt "%s=%a" k pp_value v in
+  Format.fprintf fmt "@[<h>{id=%s; classes=[%a]; %a}@]"
+    (match t.msg_id with Some i -> Int64.to_string i | None -> "-")
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",") Class_name.pp)
+    (classes t)
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";@ ") pp_field)
+    (fields t)
+
+module Field = struct
+  let msg_type = "msg_type"
+  let key = "key"
+  let url = "url"
+  let msg_size = "msg_size"
+  let tenant = "tenant"
+  let flow_size = "flow_size"
+  let operation = "operation"
+end

@@ -1,0 +1,55 @@
+(** Message metadata.
+
+    Stages associate application messages with a set of classes plus
+    free-form metadata fields (paper Table 2): a unique message identifier,
+    message type, key/url being accessed, message size, tenant, …  The
+    metadata travels with every packet of the message down the host stack
+    and is the input to enclave classification and to action functions. *)
+
+type value = Int of int64 | Str of string
+
+val int : int -> value
+val int64 : int64 -> value
+val str : string -> value
+
+val value_to_string : value -> string
+val equal_value : value -> value -> bool
+val pp_value : Format.formatter -> value -> unit
+
+type t
+(** An immutable field map plus class bindings. *)
+
+val empty : t
+
+val with_msg_id : int64 -> t -> t
+val msg_id : t -> int64 option
+
+val add : string -> value -> t -> t
+(** [add field v t] binds [field]; replaces any previous binding. *)
+
+val find : string -> t -> value option
+val find_int : string -> t -> int64 option
+val find_str : string -> t -> string option
+val mem : string -> t -> bool
+val fields : t -> (string * value) list
+(** Bindings in field-name order. *)
+
+val add_class : Class_name.t -> t -> t
+val classes : t -> Class_name.t list
+val has_class : Class_name.t -> t -> bool
+
+val union : t -> t -> t
+(** [union a b] merges classes and fields; on field conflict [b] wins. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Conventional field names used by the built-in stages. *)
+module Field : sig
+  val msg_type : string
+  val key : string
+  val url : string
+  val msg_size : string
+  val tenant : string
+  val flow_size : string
+  val operation : string
+end

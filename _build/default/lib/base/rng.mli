@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation.
+
+    A SplitMix64 generator: fast, high quality for simulation purposes, and
+    splittable so that every simulated component can own an independent
+    stream derived from one experiment seed.  Determinism matters here —
+    every experiment in the benchmark harness must be replayable from its
+    seed alone. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator. Two generators created with the
+    same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bits : t -> int
+(** 30 uniform bits, as a non-negative [int]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] samples Exp with the given mean. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val weighted_index : t -> float array -> int
+(** [weighted_index t w] returns [i] with probability [w.(i) / sum w].
+    Requires a non-empty array with non-negative weights and positive sum. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

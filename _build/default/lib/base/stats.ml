@@ -1,0 +1,116 @@
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0.0 else t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = if t.n = 0 then 0.0 else t.min
+  let max t = if t.n = 0 then 0.0 else t.max
+
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else begin
+      let n = a.n + b.n in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+      in
+      { n; mean; m2; min = Stdlib.min a.min b.min; max = Stdlib.max a.max b.max }
+    end
+end
+
+module Samples = struct
+  type t = { mutable data : float array; mutable n : int; mutable sorted : bool }
+
+  let create () = { data = Array.make 64 0.0; n = 0; sorted = false }
+
+  let add t x =
+    if t.n = Array.length t.data then begin
+      let bigger = Array.make (2 * t.n) 0.0 in
+      Array.blit t.data 0 bigger 0 t.n;
+      t.data <- bigger
+    end;
+    t.data.(t.n) <- x;
+    t.n <- t.n + 1;
+    t.sorted <- false
+
+  let of_list xs =
+    let t = create () in
+    List.iter (add t) xs;
+    t
+
+  let count t = t.n
+  let to_array t = Array.sub t.data 0 t.n
+
+  let mean t =
+    if t.n = 0 then 0.0
+    else begin
+      let s = ref 0.0 in
+      for i = 0 to t.n - 1 do
+        s := !s +. t.data.(i)
+      done;
+      !s /. float_of_int t.n
+    end
+
+  let stddev t =
+    if t.n < 2 then 0.0
+    else begin
+      let m = mean t in
+      let s = ref 0.0 in
+      for i = 0 to t.n - 1 do
+        let d = t.data.(i) -. m in
+        s := !s +. (d *. d)
+      done;
+      sqrt (!s /. float_of_int (t.n - 1))
+    end
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let a = to_array t in
+      Array.sort compare a;
+      Array.blit a 0 t.data 0 t.n;
+      t.sorted <- true
+    end
+
+  let percentile t p =
+    if t.n = 0 then 0.0
+    else begin
+      ensure_sorted t;
+      let p = Float.min 100.0 (Float.max 0.0 p) in
+      let rank = p /. 100.0 *. float_of_int (t.n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = int_of_float (ceil rank) in
+      if lo = hi then t.data.(lo)
+      else begin
+        let frac = rank -. float_of_int lo in
+        (t.data.(lo) *. (1.0 -. frac)) +. (t.data.(hi) *. frac)
+      end
+    end
+
+  let ci95 t =
+    if t.n < 2 then 0.0 else 1.96 *. stddev t /. sqrt (float_of_int t.n)
+end
+
+let mbps ~bytes_transferred ~duration =
+  let secs = Time.to_sec duration in
+  if secs <= 0.0 then 0.0 else float_of_int bytes_transferred *. 8.0 /. secs /. 1e6

@@ -1,0 +1,48 @@
+(** Summary statistics for experiment reporting.
+
+    The paper reports means with 95% confidence intervals and 95th
+    percentiles (Figs. 9–12); this module provides exactly those, plus a
+    streaming accumulator so long simulations do not have to retain every
+    sample. *)
+
+(** Streaming accumulator (Welford's algorithm). *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; 0 with fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val merge : t -> t -> t
+  (** Combine two accumulators (e.g. across experiment runs). *)
+end
+
+(** Retains all samples; supports percentiles. *)
+module Samples : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val of_list : float list -> t
+  val count : t -> int
+  val to_array : t -> float array
+  val mean : t -> float
+  val stddev : t -> float
+  val percentile : t -> float -> float
+  (** [percentile t 95.0] with linear interpolation; 0 when empty. *)
+
+  val ci95 : t -> float
+  (** Half-width of the normal-approximation 95% confidence interval of the
+      mean: [1.96 * stddev / sqrt count]; 0 with fewer than two samples. *)
+end
+
+val mbps : bytes_transferred:int -> duration:Time.t -> float
+(** Goodput in megabits per second; 0 for a non-positive duration. *)

@@ -1,0 +1,1 @@
+lib/bytecode/asm.ml: Array List Map Opcode Printf String

@@ -1,0 +1,1 @@
+lib/bytecode/asm.mli: Opcode

@@ -1,0 +1,1 @@
+lib/bytecode/codec.ml: Array Buffer Char Format Int32 Int64 Opcode Printf Program String

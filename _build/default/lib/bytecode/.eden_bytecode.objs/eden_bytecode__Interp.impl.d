@@ -1,0 +1,1 @@
+lib/bytecode/interp.ml: Array Eden_base Format Int64 Opcode Printf Program

@@ -1,0 +1,1 @@
+lib/bytecode/interp.mli: Eden_base Format Program

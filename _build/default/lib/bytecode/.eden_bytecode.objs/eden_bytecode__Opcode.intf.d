@@ -1,0 +1,1 @@
+lib/bytecode/opcode.mli: Format

@@ -1,0 +1,1 @@
+lib/bytecode/verifier.ml: Array Format Opcode Printf Program Queue Result

@@ -1,0 +1,1 @@
+lib/bytecode/verifier.mli: Format Program

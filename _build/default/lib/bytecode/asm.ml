@@ -1,0 +1,48 @@
+type item =
+  | I of Opcode.t
+  | Label of string
+  | Jmp_l of string
+  | Jz_l of string
+  | Jnz_l of string
+
+let assemble items =
+  let module Smap = Map.Make (String) in
+  (* First pass: label -> instruction index. *)
+  let rec index acc pos = function
+    | [] -> Ok acc
+    | Label l :: rest ->
+      if Smap.mem l acc then Error (Printf.sprintf "duplicate label %S" l)
+      else index (Smap.add l pos acc) pos rest
+    | (I _ | Jmp_l _ | Jz_l _ | Jnz_l _) :: rest -> index acc (pos + 1) rest
+  in
+  match index Smap.empty 0 items with
+  | Error _ as e -> e
+  | Ok labels -> (
+    let resolve l =
+      match Smap.find_opt l labels with
+      | Some pos -> Ok pos
+      | None -> Error (Printf.sprintf "undefined label %S" l)
+    in
+    let rec emit acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | Label _ :: rest -> emit acc rest
+      | I op :: rest -> emit (op :: acc) rest
+      | Jmp_l l :: rest -> (
+        match resolve l with
+        | Ok t -> emit (Opcode.Jmp t :: acc) rest
+        | Error _ as e -> e)
+      | Jz_l l :: rest -> (
+        match resolve l with
+        | Ok t -> emit (Opcode.Jz t :: acc) rest
+        | Error _ as e -> e)
+      | Jnz_l l :: rest -> (
+        match resolve l with
+        | Ok t -> emit (Opcode.Jnz t :: acc) rest
+        | Error _ as e -> e)
+    in
+    match emit [] items with Ok _ as ok -> ok | Error _ as e -> e)
+
+let assemble_exn items =
+  match assemble items with
+  | Ok code -> code
+  | Error msg -> invalid_arg ("Asm.assemble: " ^ msg)

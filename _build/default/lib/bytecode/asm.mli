@@ -1,0 +1,18 @@
+(** Label-based assembly.
+
+    The compiler back-end and hand-written test programs emit a list of
+    items with symbolic labels; [assemble] resolves them to absolute
+    instruction indices. *)
+
+type item =
+  | I of Opcode.t  (** A concrete instruction (its target, if any, is absolute). *)
+  | Label of string
+  | Jmp_l of string
+  | Jz_l of string
+  | Jnz_l of string
+
+val assemble : item list -> (Opcode.t array, string) result
+(** Errors on undefined or duplicate labels. *)
+
+val assemble_exn : item list -> Opcode.t array
+(** @raise Invalid_argument on assembly errors (compiler-internal use). *)

@@ -1,0 +1,27 @@
+(** Binary serialization of compiled programs.
+
+    The controller compiles action functions once and pushes the bytecode
+    to every enclave (§3.4.3: "the same bytecode across platforms"); this
+    codec defines that wire format.  Little-endian, length-prefixed,
+    versioned:
+
+    {v
+    "EDBC" | version u8 | name | limits (4 x u32)
+    | scalar slots | array slots | code
+    v}
+
+    Decoding validates structure but not semantics — run
+    {!Verifier.verify} on the result before installing, exactly as the
+    enclave API does. *)
+
+val encode : Program.t -> string
+(** Deterministic: equal programs encode to equal strings. *)
+
+type error = { offset : int; message : string }
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val decode : string -> (Program.t, error) result
+
+val version : int

@@ -1,0 +1,87 @@
+type entity = Packet | Message | Global
+
+let entity_to_string = function
+  | Packet -> "packet"
+  | Message -> "message"
+  | Global -> "global"
+
+type access = Read_only | Read_write
+
+let access_to_string = function Read_only -> "ro" | Read_write -> "rw"
+
+type scalar_slot = {
+  s_name : string;
+  s_entity : entity;
+  s_access : access;
+  s_local : int;
+}
+
+type array_slot = { a_name : string; a_entity : entity; a_access : access }
+
+type t = {
+  name : string;
+  code : Opcode.t array;
+  scalar_slots : scalar_slot array;
+  array_slots : array_slot array;
+  n_locals : int;
+  stack_limit : int;
+  heap_limit : int;
+  step_limit : int;
+}
+
+let default_stack_limit = 64
+let default_heap_limit = 256
+let default_step_limit = 100_000
+
+let max_local_in_code code =
+  Array.fold_left
+    (fun acc op ->
+      match op with Opcode.Load i | Opcode.Store i -> max acc i | _ -> acc)
+    (-1) code
+
+let make ~name ~code ?(scalar_slots = [||]) ?(array_slots = [||]) ?n_locals
+    ?(stack_limit = default_stack_limit) ?(heap_limit = default_heap_limit)
+    ?(step_limit = default_step_limit) () =
+  let slot_max =
+    Array.fold_left (fun acc s -> max acc s.s_local) (-1) scalar_slots
+  in
+  let n_locals =
+    match n_locals with
+    | Some n -> n
+    | None -> 1 + max (max_local_in_code code) slot_max
+  in
+  { name; code; scalar_slots; array_slots; n_locals; stack_limit; heap_limit; step_limit }
+
+let writes_entity t entity =
+  Array.exists
+    (fun s -> s.s_entity = entity && s.s_access = Read_write)
+    t.scalar_slots
+  || Array.exists
+       (fun a -> a.a_entity = entity && a.a_access = Read_write)
+       t.array_slots
+
+let find_scalar t name =
+  Array.find_opt (fun s -> String.equal s.s_name name) t.scalar_slots
+
+let find_array t name =
+  let found = ref None in
+  Array.iteri
+    (fun i a -> if String.equal a.a_name name && !found = None then found := Some (i, a))
+    t.array_slots;
+  !found
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>program %S (locals=%d stack<=%d heap<=%d steps<=%d)@,"
+    t.name t.n_locals t.stack_limit t.heap_limit t.step_limit;
+  Array.iter
+    (fun s ->
+      Format.fprintf fmt "  scalar %-28s %s %s -> local %d@," s.s_name
+        (entity_to_string s.s_entity) (access_to_string s.s_access) s.s_local)
+    t.scalar_slots;
+  Array.iteri
+    (fun i a ->
+      Format.fprintf fmt "  array  %-28s %s %s -> slot %d@," a.a_name
+        (entity_to_string a.a_entity) (access_to_string a.a_access) i)
+    t.array_slots;
+  Array.iteri (fun i op -> Format.fprintf fmt "  %4d: %s@," i (Opcode.to_string op)) t.code;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,73 @@
+(** Compiled action-function programs.
+
+    A program is bytecode plus the environment contract the enclave
+    runtime must honour: which locals to pre-load from packet / message /
+    global state, which array slots exist, what may be written back, and
+    the resource limits (operand stack, heap, instruction budget) within
+    which the interpreter confines execution. *)
+
+type entity = Packet | Message | Global
+
+val entity_to_string : entity -> string
+
+type access = Read_only | Read_write
+
+val access_to_string : access -> string
+
+type scalar_slot = {
+  s_name : string;  (** Field name within the entity, e.g. ["Size"]. *)
+  s_entity : entity;
+  s_access : access;
+  s_local : int;  (** Local index the runtime pre-loads / reads back. *)
+}
+
+type array_slot = {
+  a_name : string;  (** Array name within the entity, e.g. ["Priorities"]. *)
+  a_entity : entity;
+  a_access : access;
+}
+(** Array slots are numbered by their position in [array_slots] and
+    addressed by the [Ga*] op-codes. *)
+
+type t = {
+  name : string;
+  code : Opcode.t array;
+  scalar_slots : scalar_slot array;
+  array_slots : array_slot array;
+  n_locals : int;  (** Total locals, environment slots included. *)
+  stack_limit : int;  (** Operand-stack capacity (values). *)
+  heap_limit : int;  (** Total heap cells a run may allocate. *)
+  step_limit : int;  (** Instruction budget per invocation. *)
+}
+
+val default_stack_limit : int
+(** 64 values — the paper reports operand stacks on the order of 64 bytes. *)
+
+val default_heap_limit : int
+(** 256 cells. *)
+
+val default_step_limit : int
+
+val make :
+  name:string ->
+  code:Opcode.t array ->
+  ?scalar_slots:scalar_slot array ->
+  ?array_slots:array_slot array ->
+  ?n_locals:int ->
+  ?stack_limit:int ->
+  ?heap_limit:int ->
+  ?step_limit:int ->
+  unit ->
+  t
+(** [n_locals] defaults to one past the highest local mentioned by the
+    code or the scalar slots. *)
+
+val writes_entity : t -> entity -> bool
+(** Does any slot of this entity have read-write access?  Drives the
+    enclave's concurrency admission (paper §3.4.4). *)
+
+val find_scalar : t -> string -> scalar_slot option
+val find_array : t -> string -> (int * array_slot) option
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing with the environment contract. *)

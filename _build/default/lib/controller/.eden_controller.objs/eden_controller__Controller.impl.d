@@ -1,0 +1,1 @@
+lib/controller/controller.ml: Array Eden_base Eden_enclave Eden_stage Float Format Int64 List Printf Result String Topology

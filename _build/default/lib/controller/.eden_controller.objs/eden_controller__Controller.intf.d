@@ -1,0 +1,1 @@
+lib/controller/controller.mli: Eden_base Eden_enclave Eden_stage Format Topology

@@ -1,0 +1,1 @@
+lib/controller/policy.ml: Array Controller Eden_enclave Eden_functions Eden_stage List Pias Pulsar Sff String Wcmp

@@ -1,0 +1,1 @@
+lib/controller/policy.mli: Controller Topology

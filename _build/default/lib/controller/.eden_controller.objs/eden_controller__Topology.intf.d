@@ -1,0 +1,1 @@
+lib/controller/topology.mli:

@@ -1,0 +1,156 @@
+module Enclave = Eden_enclave.Enclave
+module Stage = Eden_stage.Stage
+
+type t = {
+  topo : Topology.t;
+  mutable encls : Enclave.t list;  (* newest first *)
+  mutable stgs : Stage.t list;
+  mutable generation : int;
+}
+
+let create ?topology () =
+  let topo = match topology with Some t -> t | None -> Topology.create () in
+  { topo; encls = []; stgs = []; generation = 0 }
+
+let topology t = t.topo
+let register_enclave t e = t.encls <- e :: t.encls
+let register_stage t s = t.stgs <- s :: t.stgs
+let enclaves t = List.rev t.encls
+let stages t = List.rev t.stgs
+let find_stage t name = List.find_opt (fun s -> String.equal (Stage.name s) name) t.stgs
+let generation t = t.generation
+
+let bump t = t.generation <- t.generation + 1
+
+(* Apply [f] to every enclave; on failure undo with [undo] on those
+   already done. *)
+let all_or_nothing t f undo =
+  let rec go done_ = function
+    | [] ->
+      bump t;
+      Ok ()
+    | e :: rest -> (
+      match f e with
+      | Ok () -> go (e :: done_) rest
+      | Error msg ->
+        List.iter undo done_;
+        Error msg)
+  in
+  go [] (enclaves t)
+
+let install_action_everywhere t spec =
+  all_or_nothing t
+    (fun e -> Enclave.install_action e spec)
+    (fun e -> ignore (Enclave.remove_action e spec.Enclave.i_name))
+
+let add_rule_everywhere t ?table ~pattern ~action () =
+  let installed = ref [] in
+  all_or_nothing t
+    (fun e ->
+      match Enclave.add_table_rule e ?table ~pattern ~action () with
+      | Ok rule_id ->
+        installed := (e, rule_id) :: !installed;
+        Ok ()
+      | Error _ as err -> err)
+    (fun e ->
+      match List.assq_opt e !installed with
+      | Some rule_id -> ignore (Enclave.remove_table_rule e ?table rule_id)
+      | None -> ())
+
+let set_global_everywhere t ~action name v =
+  all_or_nothing t (fun e -> Enclave.set_global e ~action name v) (fun _ -> ())
+
+let set_global_array_everywhere t ~action name arr =
+  all_or_nothing t
+    (fun e -> Enclave.set_global_array e ~action name (Array.copy arr))
+    (fun _ -> ())
+
+let program_stage t ~stage ~ruleset ~rules =
+  match find_stage t stage with
+  | None -> Error (Printf.sprintf "stage %S not registered" stage)
+  | Some s ->
+    let rec go = function
+      | [] ->
+        bump t;
+        Ok ()
+      | (classifier, class_name, metadata_fields) :: rest -> (
+        match
+          Stage.Api.create_stage_rule s ~ruleset ~classifier ~class_name ~metadata_fields
+        with
+        | Ok _ -> go rest
+        | Error _ as err -> Result.map (fun _ -> ()) err)
+    in
+    go rules
+
+type enclave_report = {
+  er_host : Eden_base.Addr.host;
+  er_placement : Enclave.placement;
+  er_packets : int;
+  er_invocations : int;
+  er_dropped : int;
+  er_faults : int;
+  er_interp_steps : int;
+  er_actions : string list;
+  er_overhead_pct : float;
+}
+
+let collect_reports t =
+  List.map
+    (fun e ->
+      let c = Enclave.counters e in
+      {
+        er_host = Enclave.host e;
+        er_placement = Enclave.placement e;
+        er_packets = c.Enclave.packets;
+        er_invocations = c.Enclave.invocations;
+        er_dropped = c.Enclave.dropped;
+        er_faults = c.Enclave.faults;
+        er_interp_steps = c.Enclave.interp_steps;
+        er_actions = Enclave.action_names e;
+        er_overhead_pct =
+          Eden_enclave.Cost.Accum.overhead_pct (Enclave.cost e) ~api:true ~enclave:true
+            ~interp:true;
+      })
+    (enclaves t)
+
+let pp_reports fmt reports =
+  Format.fprintf fmt "@[<v>%-6s %-4s %10s %10s %7s %7s %9s %7s  %s@,"
+    "host" "plc" "packets" "invocs" "drops" "faults" "steps" "ovh%" "actions";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-6d %-4s %10d %10d %7d %7d %9d %6.2f%%  %s@," r.er_host
+        (Enclave.placement_to_string r.er_placement)
+        r.er_packets r.er_invocations r.er_dropped r.er_faults r.er_interp_steps
+        r.er_overhead_pct
+        (String.concat "," r.er_actions))
+    reports;
+  Format.fprintf fmt "@]"
+
+(* Equal-split quantile thresholds (the PIAS control plane recomputes
+   these periodically from the observed flow-size distribution). *)
+let pias_thresholds ~cdf ~levels =
+  if levels < 2 then invalid_arg "Controller.pias_thresholds: need >= 2 levels";
+  let dist = Eden_base.Dist.Empirical_cdf.create cdf in
+  Array.init (levels - 1) (fun i ->
+      let q = float_of_int (i + 1) /. float_of_int levels in
+      Int64.of_float (Eden_base.Dist.Empirical_cdf.quantile dist q))
+
+let wcmp_path_matrix t ~src ~dst ~labels =
+  let weighted = Topology.wcmp_weights t.topo ~src ~dst in
+  let entries =
+    List.filter_map
+      (fun (path, w) ->
+        match
+          List.find_opt (fun (p, _) -> List.equal String.equal p path) labels
+        with
+        | Some (_, label) -> Some (label, w)
+        | None -> None)
+      weighted
+  in
+  let arr = Array.make (2 * List.length entries) 0L in
+  List.iteri
+    (fun i (label, w) ->
+      arr.(2 * i) <- Int64.of_int label;
+      arr.((2 * i) + 1) <- Int64.of_float (Float.round (w *. 1000.0)))
+    entries;
+  arr

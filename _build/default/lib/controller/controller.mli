@@ -1,0 +1,91 @@
+(** The logically centralized Eden controller (paper §3.2).
+
+    Holds global visibility (the {!Topology}), computes the slow-timescale
+    state that data-plane functions consume (WCMP path matrices, PIAS
+    priority thresholds), and programs stages (stage API) and enclaves
+    (enclave API) across the fleet.  Pushes are applied to every
+    registered enclave and stamped with a generation counter, giving the
+    single-enforcement-point consistency story of §2.2. *)
+
+type t
+
+val create : ?topology:Topology.t -> unit -> t
+val topology : t -> Topology.t
+
+val register_enclave : t -> Eden_enclave.Enclave.t -> unit
+val register_stage : t -> Eden_stage.Stage.t -> unit
+val enclaves : t -> Eden_enclave.Enclave.t list
+val stages : t -> Eden_stage.Stage.t list
+val find_stage : t -> string -> Eden_stage.Stage.t option
+
+val generation : t -> int
+(** Incremented by every successful push. *)
+
+(** {2 Enclave programming (broadcast)} *)
+
+val install_action_everywhere :
+  t -> Eden_enclave.Enclave.install_spec -> (unit, string) result
+(** All-or-nothing across registered enclaves: on any failure, installs
+    made so far are rolled back. *)
+
+val add_rule_everywhere :
+  t ->
+  ?table:int ->
+  pattern:Eden_base.Class_name.Pattern.t ->
+  action:string ->
+  unit ->
+  (unit, string) result
+
+val set_global_everywhere : t -> action:string -> string -> int64 -> (unit, string) result
+
+val set_global_array_everywhere :
+  t -> action:string -> string -> int64 array -> (unit, string) result
+(** Each enclave receives its own copy of the array. *)
+
+(** {2 Stage programming} *)
+
+val program_stage :
+  t ->
+  stage:string ->
+  ruleset:string ->
+  rules:(Eden_stage.Classifier.t * string * string list) list ->
+  (unit, string) result
+(** Install [(classifier, class, metadata fields)] rules on a registered
+    stage. *)
+
+(** {2 Monitoring} *)
+
+type enclave_report = {
+  er_host : Eden_base.Addr.host;
+  er_placement : Eden_enclave.Enclave.placement;
+  er_packets : int;
+  er_invocations : int;
+  er_dropped : int;
+  er_faults : int;
+  er_interp_steps : int;
+  er_actions : string list;
+  er_overhead_pct : float;
+      (** Eden components as % of vanilla per-packet cost (Fig. 12's metric). *)
+}
+
+val collect_reports : t -> enclave_report list
+(** Poll every registered enclave's counters — the monitoring half of the
+    controller loop (switch-style SNMP polling, §3.5, applied to hosts). *)
+
+val pp_reports : Format.formatter -> enclave_report list -> unit
+
+(** {2 Control-plane computations} *)
+
+val pias_thresholds : cdf:(float * float) list -> levels:int -> int64 array
+(** Demotion thresholds from a flow-size CDF: the equal-split quantile
+    rule (level [i] of [levels] demotes at the [i/levels] quantile).
+    Returns [levels - 1] increasing byte counts. *)
+
+val wcmp_path_matrix :
+  t -> src:Topology.node -> dst:Topology.node -> labels:(Topology.path * int) list ->
+  int64 array
+(** Flatten the topology's WCMP weights into the [(label, weight‰) ...]
+    encoding the data-plane function reads: element [2i] is the route
+    label of path [i], element [2i+1] its weight in parts per 1000.
+    [labels] maps each path to the label the switches were programmed
+    with; paths without a label are skipped. *)

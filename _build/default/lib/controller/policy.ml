@@ -1,0 +1,76 @@
+module Enclave = Eden_enclave.Enclave
+module Stage = Eden_stage.Stage
+module Classifier = Eden_stage.Classifier
+open Eden_functions
+
+type engine = Interpreted | Native
+
+let variant = function Interpreted -> `Interpreted | Native -> `Native
+
+(* Apply a per-enclave install to the whole fleet; on any failure remove
+   the action from the enclaves already programmed. *)
+let fleet_install ctl ~name install =
+  let rec go done_ = function
+    | [] -> Ok ()
+    | e :: rest -> (
+      match install e with
+      | Ok () -> go (e :: done_) rest
+      | Error msg ->
+        List.iter (fun e -> ignore (Enclave.remove_action e name)) done_;
+        Error msg)
+  in
+  go [] (Controller.enclaves ctl)
+
+let flow_scheduling ctl ~scheme ?(engine = Interpreted) ?(levels = 3) ~cdf () =
+  let thresholds = Controller.pias_thresholds ~cdf ~levels in
+  match scheme with
+  | `Pias ->
+    fleet_install ctl ~name:"pias" (fun e ->
+        Pias.install ~variant:(variant engine) e ~thresholds)
+  | `Sff ->
+    fleet_install ctl ~name:"sff" (fun e ->
+        Sff.install ~variant:(variant engine) e ~thresholds)
+
+let update_flow_scheduling_thresholds ctl ~scheme ?(levels = 3) ~cdf () =
+  let thresholds = Controller.pias_thresholds ~cdf ~levels in
+  let action = match scheme with `Pias -> "pias" | `Sff -> "sff" in
+  Controller.set_global_array_everywhere ctl ~action "Thresholds" thresholds
+
+let weighted_load_balancing ctl ?(engine = Interpreted) ?(message_level = false) ~src ~dst
+    ~labels () =
+  let matrix = Controller.wcmp_path_matrix ctl ~src ~dst ~labels in
+  if Array.length matrix < 2 then
+    Error "weighted_load_balancing: no labelled paths between src and dst"
+  else begin
+    let v =
+      match (engine, message_level) with
+      | Native, _ -> `Native
+      | Interpreted, false -> `Packet
+      | Interpreted, true -> `Message
+    in
+    fleet_install ctl ~name:"wcmp" (fun e -> Wcmp.install ~variant:v e ~matrix)
+  end
+
+let tenant_qos ctl ?(engine = Interpreted) ~queue_map () =
+  let rec program_storage_stages = function
+    | [] -> Ok ()
+    | stage :: rest ->
+      if String.equal (Stage.name stage) "storage" then begin
+        let metadata_fields = [ "operation"; "msg_size"; "tenant" ] in
+        let add op =
+          Stage.Api.create_stage_rule stage ~ruleset:"ops"
+            ~classifier:[ ("operation", Classifier.eq_str op) ]
+            ~class_name:op ~metadata_fields
+        in
+        match (add "READ", add "WRITE") with
+        | Ok _, Ok _ -> program_storage_stages rest
+        | Error msg, _ | _, Error msg -> Error msg
+      end
+      else program_storage_stages rest
+  in
+  match
+    fleet_install ctl ~name:"pulsar" (fun e ->
+        Pulsar.install ~variant:(variant engine) e ~queue_map)
+  with
+  | Error _ as e -> e
+  | Ok () -> program_storage_stages (Controller.stages ctl)

@@ -1,0 +1,55 @@
+(** Network-function policies: the controller-side bundles.
+
+    A network function is conceptually a control-plane half plus a
+    data-plane half (paper §3.2).  Each policy here performs the whole
+    controller workflow in one call: compute the global state (thresholds,
+    path matrices, queue maps), install the data-plane function on every
+    registered enclave, and program stages where the function needs
+    application classification.  Installs are fleet-atomic: a failure on
+    any enclave rolls back the ones already programmed. *)
+
+type engine = Interpreted | Native
+
+val flow_scheduling :
+  Controller.t ->
+  scheme:[ `Pias | `Sff ] ->
+  ?engine:engine ->
+  ?levels:int ->
+  cdf:(float * float) list ->
+  unit ->
+  (unit, string) result
+(** Compute PIAS-style thresholds from the flow-size CDF ([levels]
+    priorities, default 3) and install the scheduler on every enclave. *)
+
+val weighted_load_balancing :
+  Controller.t ->
+  ?engine:engine ->
+  ?message_level:bool ->
+  src:Topology.node ->
+  dst:Topology.node ->
+  labels:(Topology.path * int) list ->
+  unit ->
+  (unit, string) result
+(** Derive WCMP weights from the controller's topology and install the
+    balancing function (per-packet by default; [message_level] for the
+    paper's messageWCMP). *)
+
+val tenant_qos :
+  Controller.t ->
+  ?engine:engine ->
+  queue_map:int array ->
+  unit ->
+  (unit, string) result
+(** Install Pulsar's rate control everywhere and program every registered
+    storage stage with READ/WRITE classification rules. *)
+
+val update_flow_scheduling_thresholds :
+  Controller.t ->
+  scheme:[ `Pias | `Sff ] ->
+  ?levels:int ->
+  cdf:(float * float) list ->
+  unit ->
+  (unit, string) result
+(** The periodic control-loop step: recompute thresholds from a fresh
+    flow-size distribution and push them to the running data plane
+    without reinstalling anything. *)

@@ -1,0 +1,78 @@
+type node = string
+
+module Smap = Map.Make (String)
+
+type t = { mutable adj : float Smap.t Smap.t }
+
+let create () = { adj = Smap.empty }
+
+let add_node t n = if not (Smap.mem n t.adj) then t.adj <- Smap.add n Smap.empty t.adj
+
+let add_link t a b ~capacity_bps =
+  if capacity_bps <= 0.0 then invalid_arg "Topology.add_link: capacity must be positive";
+  add_node t a;
+  add_node t b;
+  let link x y =
+    t.adj <- Smap.update x (function
+      | Some nbrs -> Some (Smap.add y capacity_bps nbrs)
+      | None -> Some (Smap.singleton y capacity_bps))
+      t.adj
+  in
+  link a b;
+  link b a
+
+let nodes t = List.map fst (Smap.bindings t.adj)
+
+let neighbours t n =
+  match Smap.find_opt n t.adj with Some nbrs -> Smap.bindings nbrs | None -> []
+
+type path = node list
+
+let simple_paths ?(max_hops = 8) t ~src ~dst =
+  let results = ref [] in
+  let rec dfs node visited acc hops =
+    if String.equal node dst then results := List.rev acc :: !results
+    else if hops < max_hops then
+      List.iter
+        (fun (next, _) ->
+          if not (List.mem next visited) then
+            dfs next (next :: visited) (next :: acc) (hops + 1))
+        (neighbours t node)
+  in
+  dfs src [ src ] [ src ] 0;
+  List.rev !results
+
+let rec bottleneck_links t = function
+  | a :: (b :: _ as rest) -> (
+    match Smap.find_opt a t.adj with
+    | None -> 0.0
+    | Some nbrs -> (
+      match Smap.find_opt b nbrs with
+      | None -> 0.0
+      | Some cap -> Float.min cap (bottleneck_links t rest)))
+  | [ _ ] | [] -> infinity
+
+let bottleneck t path =
+  match path with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let b = bottleneck_links t path in
+    if b = infinity then 0.0 else b
+
+let normalize weighted =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 weighted in
+  if total <= 0.0 then []
+  else List.map (fun (p, w) -> (p, w /. total)) weighted
+
+let wcmp_weights ?max_hops t ~src ~dst =
+  simple_paths ?max_hops t ~src ~dst
+  |> List.map (fun p -> (p, bottleneck t p))
+  |> List.filter (fun (_, w) -> w > 0.0)
+  |> normalize
+
+let ecmp_weights ?max_hops t ~src ~dst =
+  simple_paths ?max_hops t ~src ~dst
+  |> List.map (fun p -> (p, bottleneck t p))
+  |> List.filter (fun (_, w) -> w > 0.0)
+  |> List.map (fun (p, _) -> (p, 1.0))
+  |> normalize

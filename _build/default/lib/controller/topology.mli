@@ -1,0 +1,37 @@
+(** The controller's view of the network.
+
+    A capacity-annotated graph over named nodes.  The controller's half
+    of WCMP lives here (paper §2.1.1, §3.2): enumerate the paths between
+    a source and destination and assign each a weight proportional to its
+    bottleneck capacity, normalized to probabilities — the [pathMatrix]
+    the data-plane function consumes. *)
+
+type node = string
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> node -> unit
+val add_link : t -> node -> node -> capacity_bps:float -> unit
+(** Bidirectional; re-adding replaces the capacity. *)
+
+val nodes : t -> node list
+val neighbours : t -> node -> (node * float) list
+
+type path = node list
+(** Node sequence, endpoints included. *)
+
+val simple_paths : ?max_hops:int -> t -> src:node -> dst:node -> path list
+(** All simple paths up to [max_hops] links (default 8), in discovery
+    order (deterministic). *)
+
+val bottleneck : t -> path -> float
+(** Minimum link capacity along the path; 0 for broken paths. *)
+
+val wcmp_weights : ?max_hops:int -> t -> src:node -> dst:node -> (path * float) list
+(** Paths with normalized weights (summing to 1) proportional to
+    bottleneck capacity — 10:1 for the paper's Fig. 1 topology. *)
+
+val ecmp_weights : ?max_hops:int -> t -> src:node -> dst:node -> (path * float) list
+(** Equal weights over the same path set: what ECMP effectively does. *)

@@ -1,0 +1,1 @@
+lib/enclave/cost.ml:

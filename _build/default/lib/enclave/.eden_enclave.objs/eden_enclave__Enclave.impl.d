@@ -1,0 +1,1 @@
+lib/enclave/enclave.ml: Array Cost Eden_base Eden_bytecode Eden_stage Hashtbl Int64 List Option Printf State String Table

@@ -1,0 +1,1 @@
+lib/enclave/enclave.mli: Cost Eden_base Eden_bytecode Eden_stage Table

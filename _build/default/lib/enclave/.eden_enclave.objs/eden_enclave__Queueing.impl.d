@@ -1,0 +1,1 @@
+lib/enclave/queueing.ml: Array Eden_base Float Queue

@@ -1,0 +1,1 @@
+lib/enclave/queueing.mli: Eden_base

@@ -1,0 +1,1 @@
+lib/enclave/state.ml: Eden_base Hashtbl List Option

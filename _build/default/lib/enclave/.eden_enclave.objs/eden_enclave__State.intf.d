@@ -1,0 +1,1 @@
+lib/enclave/state.mli: Eden_base

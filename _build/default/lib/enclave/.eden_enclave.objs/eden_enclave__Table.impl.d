@@ -1,0 +1,1 @@
+lib/enclave/table.ml: Eden_base Format List

@@ -1,0 +1,1 @@
+lib/enclave/table.mli: Eden_base Format

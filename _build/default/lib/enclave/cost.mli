@@ -1,0 +1,58 @@
+(** Per-packet CPU cost accounting (paper §5.4, Fig. 12).
+
+    The paper breaks Eden's overhead over a vanilla stack into three
+    parts: the API (passing metadata into the enclave), the enclave
+    itself (classification, table lookup, state marshalling), and the
+    interpreter.  The simulator charges each packet according to this
+    model so Fig. 12 can be regenerated; the bench harness also measures
+    the real interpreter's wall-clock cost on this machine to calibrate
+    [per_step_ns]. *)
+
+type model = {
+  vanilla_ns : float;  (** Base per-packet cost of the plain stack. *)
+  api_ns : float;  (** Metadata handoff (only charged when metadata is present). *)
+  classify_ns : float;  (** Enclave classification + table lookup. *)
+  marshal_ns : float;  (** Environment copy-in / copy-out, per invocation. *)
+  per_step_ns : float;  (** Interpreter cost per bytecode step. *)
+  native_ns : float;  (** Hard-coded (native) action function, per invocation. *)
+}
+
+val os_model : model
+(** Calibrated for the software (OS driver) enclave. *)
+
+val nic_model : model
+(** The programmable-NIC enclave: slower single-thread cores, but the
+    model only matters relatively. *)
+
+(** Accumulates busy-time per component over a run. *)
+module Accum : sig
+  type t
+
+  val create : unit -> t
+  val add_vanilla : t -> model -> unit
+  val add_api : t -> model -> unit
+  val add_classify : t -> model -> unit
+  val add_marshal : t -> model -> unit
+  val add_interp : t -> model -> steps:int -> unit
+  val add_native : t -> model -> unit
+
+  val packets : t -> int
+  (** Number of vanilla charges, i.e. packets seen. *)
+
+  val overhead_total_ns : t -> float
+  (** Total Eden-added busy time (everything except the vanilla base). *)
+
+  val vanilla_ns : t -> float
+  val api_ns : t -> float
+  val enclave_ns : t -> float
+  (** classify + marshal. *)
+
+  val interp_ns : t -> float
+  val native_ns : t -> float
+
+  val overhead_pct : t -> api:bool -> enclave:bool -> interp:bool -> float
+  (** Selected components' busy time as a percentage of the vanilla base
+      (the quantity Fig. 12 plots). *)
+
+  val merge : t -> t -> t
+end

@@ -1,0 +1,546 @@
+module Addr = Eden_base.Addr
+module Packet = Eden_base.Packet
+module Metadata = Eden_base.Metadata
+module Class_name = Eden_base.Class_name
+module Time = Eden_base.Time
+module Rng = Eden_base.Rng
+module P = Eden_bytecode.Program
+module Interp = Eden_bytecode.Interp
+module Verifier = Eden_bytecode.Verifier
+module Stage = Eden_stage.Stage
+module Builtin = Eden_stage.Builtin
+
+type placement = Os | Nic
+
+let placement_to_string = function Os -> "os" | Nic -> "nic"
+
+type decision = Forward of { queue : int option; charge : int } | Dropped of string
+
+(* Mutable per-invocation outputs; applied to the packet after a
+   successful run (and only then). *)
+type outputs = {
+  mutable o_priority : int;
+  mutable o_path : int;
+  mutable o_drop : bool;
+  mutable o_queue : int;
+  mutable o_charge : int;
+  mutable o_goto : int;
+}
+
+let fresh_outputs (pkt : Packet.t) =
+  {
+    o_priority = pkt.Packet.priority;
+    o_path = (match pkt.Packet.route_label with Some l -> l | None -> -1);
+    o_drop = false;
+    o_queue = -1;
+    o_charge = -1;
+    o_goto = -1;
+  }
+
+module Native_ctx = struct
+  type t = {
+    nc_packet : Packet.t;
+    nc_metadata : Metadata.t;
+    nc_msg_id : int64;
+    nc_now : Time.t;
+    nc_rng : Rng.t;
+    nc_state : State.t;
+    nc_out : outputs;
+  }
+
+  let packet t = t.nc_packet
+  let metadata t = t.nc_metadata
+  let msg_id t = t.nc_msg_id
+  let now t = t.nc_now
+  let rng t = t.nc_rng
+  let msg_get t field ~default =
+    State.msg_get t.nc_state ~msg:t.nc_msg_id ~field ~default ~now:t.nc_now
+  let msg_set t field v = State.msg_set t.nc_state ~msg:t.nc_msg_id ~field v ~now:t.nc_now
+  let global_get t name = State.global_get t.nc_state name
+  let global_set t name v = State.global_set t.nc_state name v
+  let global_array t name = State.global_array t.nc_state name
+  let set_priority t p = t.nc_out.o_priority <- p
+  let set_path t p = t.nc_out.o_path <- p
+  let set_drop t = t.nc_out.o_drop <- true
+  let set_queue t q = t.nc_out.o_queue <- q
+  let set_charge t c = t.nc_out.o_charge <- c
+end
+
+type impl = Interpreted of P.t | Native of (Native_ctx.t -> unit)
+
+type msg_field_source =
+  | Stateful of int64
+  | Metadata_int of string
+  | Metadata_flag of string * string
+
+type install_spec = {
+  i_name : string;
+  i_impl : impl;
+  i_msg_sources : (string * msg_field_source) list;
+}
+
+type counters = {
+  mutable packets : int;
+  mutable dropped : int;
+  mutable invocations : int;
+  mutable native_invocations : int;
+  mutable faults : int;
+  mutable interp_steps : int;
+}
+
+type fault_record = {
+  fr_action : string;
+  fr_fault : Interp.fault;
+  fr_time : Time.t;
+}
+
+type installed = {
+  a_name : string;
+  a_impl : impl;
+  a_state : State.t;
+  a_msg_sources : (string, msg_field_source) Hashtbl.t;
+  a_concurrency : [ `Parallel | `Per_message | `Serial ];
+  a_scratch : Interp.scratch option;  (* for interpreted actions *)
+}
+
+type t = {
+  e_host : Addr.host;
+  e_placement : placement;
+  e_rng : Rng.t;
+  e_flow_stage : Stage.t;
+  e_flow_ids : int64 Addr.Flow_table.t;
+  mutable e_next_flow_id : int64;
+  e_actions : (string, installed) Hashtbl.t;
+  e_tables : (int, Table.t) Hashtbl.t;
+  mutable e_next_table : int;
+  e_counters : counters;
+  mutable e_faults : fault_record list;
+  e_cost : Cost.Accum.t;
+  e_cost_model : Cost.model;
+  mutable e_enforce : bool;
+  mutable e_last_cost_ns : float;
+}
+
+(* The enclave's first flow id; far above any stage-assigned message id so
+   the two spaces cannot collide. *)
+let flow_id_base = Int64.shift_left 1L 40
+
+let create ?(placement = Os) ?(seed = 0xEDE1L) ~host () =
+  let t =
+    {
+      e_host = host;
+      e_placement = placement;
+      e_rng = Rng.create (Int64.add seed (Int64.of_int host));
+      e_flow_stage = Builtin.flow ();
+      e_flow_ids = Addr.Flow_table.create 64;
+      e_next_flow_id = flow_id_base;
+      e_actions = Hashtbl.create 8;
+      e_tables = Hashtbl.create 4;
+      e_next_table = 1;
+      e_counters =
+        {
+          packets = 0;
+          dropped = 0;
+          invocations = 0;
+          native_invocations = 0;
+          faults = 0;
+          interp_steps = 0;
+        };
+      e_faults = [];
+      e_cost = Cost.Accum.create ();
+      e_cost_model = (match placement with Os -> Cost.os_model | Nic -> Cost.nic_model);
+      e_enforce = true;
+      e_last_cost_ns = 0.0;
+    }
+  in
+  Hashtbl.replace t.e_tables 0 (Table.create ~id:0);
+  (* The enclave classifies at TCP-flow granularity out of the box (paper
+     Table 2, last row): every packet belongs to [enclave.flows.ALL] and
+     each transport connection is a message.  The controller may remove
+     or refine this rule-set through the stage API. *)
+  (match
+     Stage.Api.create_stage_rule t.e_flow_stage ~ruleset:"flows" ~classifier:[]
+       ~class_name:"ALL" ~metadata_fields:[]
+   with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Enclave.create: " ^ msg));
+  t
+
+let host t = t.e_host
+let placement t = t.e_placement
+let flow_stage t = t.e_flow_stage
+let set_enforce t b = t.e_enforce <- b
+let counters t = t.e_counters
+let faults t = t.e_faults
+let cost t = t.e_cost
+let cost_model t = t.e_cost_model
+let last_process_cost_ns t = t.e_last_cost_ns
+
+(* ------------------------------------------------------------------ *)
+(* Packet-field marshalling *)
+
+let proto_code = function Addr.Tcp -> 6L | Addr.Udp -> 17L
+
+let packet_field_get (pkt : Packet.t) name =
+  match name with
+  | "Size" -> Some (Int64.of_int (Packet.wire_size pkt))
+  | "PayloadSize" -> Some (Int64.of_int pkt.Packet.payload)
+  | "Priority" -> Some (Int64.of_int pkt.Packet.priority)
+  | "Path" ->
+    Some (match pkt.Packet.route_label with Some l -> Int64.of_int l | None -> -1L)
+  | "SrcHost" -> Some (Int64.of_int pkt.Packet.flow.Addr.src.Addr.host)
+  | "SrcPort" -> Some (Int64.of_int pkt.Packet.flow.Addr.src.Addr.port)
+  | "DstHost" -> Some (Int64.of_int pkt.Packet.flow.Addr.dst.Addr.host)
+  | "DstPort" -> Some (Int64.of_int pkt.Packet.flow.Addr.dst.Addr.port)
+  | "Proto" -> Some (proto_code pkt.Packet.flow.Addr.proto)
+  | "IsData" -> Some (if Packet.is_data pkt then 1L else 0L)
+  | "Drop" -> Some 0L
+  | "Queue" -> Some (-1L)
+  | "Charge" -> Some (-1L)
+  | "GotoTable" -> Some (-1L)
+  | _ -> None
+
+let packet_field_writable = function
+  | "Priority" | "Path" | "Drop" | "Queue" | "Charge" | "GotoTable" -> true
+  | _ -> false
+
+let apply_packet_field (out : outputs) name v =
+  match name with
+  | "Priority" -> out.o_priority <- max 0 (min 7 (Int64.to_int v))
+  | "Path" -> out.o_path <- Int64.to_int v
+  | "Drop" -> if not (Int64.equal v 0L) then out.o_drop <- true
+  | "Queue" -> out.o_queue <- Int64.to_int v
+  | "Charge" -> out.o_charge <- Int64.to_int v
+  | "GotoTable" -> out.o_goto <- Int64.to_int v
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Enclave API *)
+
+let concurrency_of_program (p : P.t) =
+  if P.writes_entity p P.Global then `Serial
+  else if P.writes_entity p P.Message then `Per_message
+  else `Parallel
+
+let install_action t spec =
+  if Hashtbl.mem t.e_actions spec.i_name then
+    Error (Printf.sprintf "action %S already installed" spec.i_name)
+  else begin
+    let sources = Hashtbl.create 8 in
+    List.iter (fun (name, src) -> Hashtbl.replace sources name src) spec.i_msg_sources;
+    let validate () =
+      match spec.i_impl with
+      | Native _ -> Ok `Serial
+      | Interpreted p -> (
+        match Verifier.verify p with
+        | Error e -> Error (Verifier.error_to_string e)
+        | Ok () ->
+          let dummy =
+            Packet.make ~id:0L
+              ~flow:
+                (Addr.five_tuple ~src:(Addr.endpoint 0 0) ~dst:(Addr.endpoint 0 0)
+                   ~proto:Addr.Tcp)
+              ~kind:Packet.Data ()
+          in
+          let problems = ref [] in
+          Array.iter
+            (fun (s : P.scalar_slot) ->
+              match s.P.s_entity with
+              | P.Packet ->
+                if packet_field_get dummy s.P.s_name = None then
+                  problems := Printf.sprintf "unknown packet field %S" s.P.s_name :: !problems
+                else if s.P.s_access = P.Read_write && not (packet_field_writable s.P.s_name)
+                then
+                  problems :=
+                    Printf.sprintf "packet field %S is not writable" s.P.s_name :: !problems
+              | P.Message -> (
+                match Hashtbl.find_opt sources s.P.s_name with
+                | Some (Metadata_int _ | Metadata_flag _) when s.P.s_access = P.Read_write ->
+                  problems :=
+                    Printf.sprintf "metadata-sourced message field %S cannot be writable"
+                      s.P.s_name
+                    :: !problems
+                | Some _ | None -> ())
+              | P.Global -> ())
+            p.P.scalar_slots;
+          Array.iter
+            (fun (a : P.array_slot) ->
+              match a.P.a_entity with
+              | P.Global -> ()
+              | P.Packet | P.Message ->
+                problems :=
+                  Printf.sprintf "array %S: only global arrays are supported" a.P.a_name
+                  :: !problems)
+            p.P.array_slots;
+          match !problems with
+          | [] -> Ok (concurrency_of_program p)
+          | ps -> Error (String.concat "; " ps))
+    in
+    match validate () with
+    | Error _ as e -> e
+    | Ok concurrency ->
+      Hashtbl.replace t.e_actions spec.i_name
+        {
+          a_name = spec.i_name;
+          a_impl = spec.i_impl;
+          a_state = State.create ();
+          a_msg_sources = sources;
+          a_concurrency = concurrency;
+          a_scratch =
+            (match spec.i_impl with
+            | Interpreted p -> Some (Interp.make_scratch p)
+            | Native _ -> None);
+        };
+      Ok ()
+  end
+
+let remove_action t name =
+  let existed = Hashtbl.mem t.e_actions name in
+  Hashtbl.remove t.e_actions name;
+  existed
+
+let action_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.e_actions [] |> List.sort compare
+
+let concurrency_of t name =
+  Option.map (fun a -> a.a_concurrency) (Hashtbl.find_opt t.e_actions name)
+
+let add_table t =
+  let id = t.e_next_table in
+  t.e_next_table <- id + 1;
+  Hashtbl.replace t.e_tables id (Table.create ~id);
+  id
+
+let add_table_rule t ?(table = 0) ~pattern ~action () =
+  match Hashtbl.find_opt t.e_tables table with
+  | None -> Error (Printf.sprintf "no table %d" table)
+  | Some tbl ->
+    if not (Hashtbl.mem t.e_actions action) then
+      Error (Printf.sprintf "action %S is not installed" action)
+    else begin
+      let rule = Table.add_rule tbl ~pattern ~action in
+      Ok rule.Table.rule_id
+    end
+
+let remove_table_rule t ?(table = 0) rule_id =
+  match Hashtbl.find_opt t.e_tables table with
+  | None -> false
+  | Some tbl -> Table.remove_rule tbl rule_id
+
+let tables t =
+  Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.e_tables []
+  |> List.sort (fun a b -> compare (Table.id a) (Table.id b))
+
+let with_action t action f =
+  match Hashtbl.find_opt t.e_actions action with
+  | None -> Error (Printf.sprintf "action %S is not installed" action)
+  | Some a -> Ok (f a)
+
+let set_global t ~action name v = with_action t action (fun a -> State.global_set a.a_state name v)
+
+let get_global t ~action name =
+  match Hashtbl.find_opt t.e_actions action with
+  | None -> None
+  | Some a -> Some (State.global_get a.a_state name)
+
+let set_global_array t ~action name arr =
+  with_action t action (fun a -> State.global_array_set a.a_state name arr)
+
+let get_global_array t ~action name =
+  match Hashtbl.find_opt t.e_actions action with
+  | None -> None
+  | Some a -> Some (State.global_array a.a_state name)
+
+(* ------------------------------------------------------------------ *)
+(* Data path *)
+
+let flow_msg_id t flow =
+  match Addr.Flow_table.find_opt t.e_flow_ids flow with
+  | Some id -> id
+  | None ->
+    let id = t.e_next_flow_id in
+    t.e_next_flow_id <- Int64.add id 1L;
+    Addr.Flow_table.replace t.e_flow_ids flow id;
+    id
+
+let record_fault t action fault now =
+  t.e_counters.faults <- t.e_counters.faults + 1;
+  let record = { fr_action = action; fr_fault = fault; fr_time = now } in
+  let keep = 99 in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  t.e_faults <- record :: take keep t.e_faults
+
+let msg_source a name =
+  match Hashtbl.find_opt a.a_msg_sources name with Some s -> s | None -> Stateful 0L
+
+let msg_scalar_in a md msg_id name ~now =
+  match msg_source a name with
+  | Stateful default -> State.msg_get a.a_state ~msg:msg_id ~field:name ~default ~now
+  | Metadata_int field -> Option.value ~default:0L (Metadata.find_int field md)
+  | Metadata_flag (field, expected) -> (
+    match Metadata.find_str field md with
+    | Some v when String.equal v expected -> 1L
+    | Some _ | None -> 0L)
+
+(* Run one interpreted action over a packet: copy-in, execute, copy-out. *)
+let run_interpreted t a (p : P.t) pkt md msg_id out ~now =
+  let scalars =
+    Array.map
+      (fun (s : P.scalar_slot) ->
+        match s.P.s_entity with
+        | P.Packet -> Option.value ~default:0L (packet_field_get pkt s.P.s_name)
+        | P.Message -> msg_scalar_in a md msg_id s.P.s_name ~now
+        | P.Global -> State.global_get a.a_state s.P.s_name)
+      p.P.scalar_slots
+  in
+  let arrays =
+    Array.map
+      (fun (slot : P.array_slot) ->
+        let live = State.global_array a.a_state slot.P.a_name in
+        (* Writers get a consistent copy; read-only slots may alias (the
+           verifier guarantees the program cannot store through them). *)
+        if slot.P.a_access = P.Read_write then Array.copy live else live)
+      p.P.array_slots
+  in
+  let env = Interp.make_env p ~scalars ~arrays in
+  Cost.Accum.add_marshal t.e_cost t.e_cost_model;
+  match Interp.run ?scratch:a.a_scratch p ~env ~now ~rng:t.e_rng with
+  | Error (fault, stats) ->
+    t.e_counters.interp_steps <- t.e_counters.interp_steps + stats.Interp.steps;
+    Cost.Accum.add_interp t.e_cost t.e_cost_model ~steps:stats.Interp.steps;
+    record_fault t a.a_name fault now
+  | Ok stats ->
+    t.e_counters.interp_steps <- t.e_counters.interp_steps + stats.Interp.steps;
+    Cost.Accum.add_interp t.e_cost t.e_cost_model ~steps:stats.Interp.steps;
+    (* Publish writable state and packet outputs. *)
+    Array.iteri
+      (fun i (s : P.scalar_slot) ->
+        if s.P.s_access = P.Read_write then begin
+          let v = env.Interp.scalars.(i) in
+          match s.P.s_entity with
+          | P.Packet -> apply_packet_field out s.P.s_name v
+          | P.Message -> State.msg_set a.a_state ~msg:msg_id ~field:s.P.s_name v ~now
+          | P.Global -> State.global_set a.a_state s.P.s_name v
+        end)
+      p.P.scalar_slots;
+    Array.iteri
+      (fun i (slot : P.array_slot) ->
+        if slot.P.a_access = P.Read_write then
+          State.global_array_set a.a_state slot.P.a_name env.Interp.arrays.(i))
+      p.P.array_slots
+
+let run_native t a f pkt md msg_id out ~now =
+  t.e_counters.native_invocations <- t.e_counters.native_invocations + 1;
+  Cost.Accum.add_native t.e_cost t.e_cost_model;
+  let ctx =
+    {
+      Native_ctx.nc_packet = pkt;
+      nc_metadata = md;
+      nc_msg_id = msg_id;
+      nc_now = now;
+      nc_rng = t.e_rng;
+      nc_state = a.a_state;
+      nc_out = out;
+    }
+  in
+  f ctx
+
+let max_table_hops = 8
+
+(* [charge_classify] is false for the non-leading packets of a batch
+   message group: batching amortizes classification and the metadata
+   handoff (paper 6, "Cycle budget"), not the action function itself. *)
+let process_one t ~now ~charge_classify (pkt : Packet.t) =
+  let cost_before = Cost.Accum.overhead_total_ns t.e_cost in
+  let c = t.e_counters in
+  c.packets <- c.packets + 1;
+  Cost.Accum.add_vanilla t.e_cost t.e_cost_model;
+  let stage_md = pkt.Packet.metadata in
+  let has_stage_metadata = Metadata.msg_id stage_md <> None in
+  if has_stage_metadata && charge_classify then Cost.Accum.add_api t.e_cost t.e_cost_model;
+  (* Enclave's own classification: the five-tuple stage. *)
+  if charge_classify then Cost.Accum.add_classify t.e_cost t.e_cost_model;
+  let flow_id = flow_msg_id t pkt.Packet.flow in
+  let flow_md =
+    Stage.classify ~msg_id:flow_id t.e_flow_stage
+      (Builtin.flow_descriptor pkt.Packet.flow)
+  in
+  (* Stage metadata wins on conflicts (its msg id identifies the
+     application message); flow classes are merged in. *)
+  let md = Metadata.union flow_md stage_md in
+  pkt.Packet.metadata <- md;
+  let msg_id = match Metadata.msg_id md with Some id -> id | None -> flow_id in
+  let classes = Metadata.classes md in
+  let out = fresh_outputs pkt in
+  (* Walk the match-action tables starting at table 0. *)
+  let rec walk table_id hops =
+    if hops >= max_table_hops then ()
+    else
+      match Hashtbl.find_opt t.e_tables table_id with
+      | None -> ()
+      | Some tbl -> (
+        match Table.lookup tbl classes with
+        | None -> ()
+        | Some rule -> (
+          match Hashtbl.find_opt t.e_actions rule.Table.action with
+          | None -> ()
+          | Some a ->
+            c.invocations <- c.invocations + 1;
+            out.o_goto <- -1;
+            (match a.a_impl with
+            | Interpreted p -> run_interpreted t a p pkt md msg_id out ~now
+            | Native f -> run_native t a f pkt md msg_id out ~now);
+            if out.o_goto >= 0 && out.o_goto <> table_id then walk out.o_goto (hops + 1)))
+  in
+  walk 0 0;
+  t.e_last_cost_ns <- Cost.Accum.overhead_total_ns t.e_cost -. cost_before;
+  if not t.e_enforce then Forward { queue = None; charge = Packet.wire_size pkt }
+  else if out.o_drop then begin
+    c.dropped <- c.dropped + 1;
+    Dropped "action function set Drop"
+  end
+  else begin
+    pkt.Packet.priority <- out.o_priority;
+    if out.o_path >= 0 then pkt.Packet.route_label <- Some out.o_path;
+    let queue = if out.o_queue >= 0 then Some out.o_queue else None in
+    let charge = if out.o_charge >= 0 then out.o_charge else Packet.wire_size pkt in
+    Forward { queue; charge }
+  end
+
+let process t ~now pkt = process_one t ~now ~charge_classify:true pkt
+
+(* Batch processing (paper 6): split the batch into runs of packets that
+   belong to the same message, amortizing per-packet classification and
+   metadata handoff over each run.  Action-function semantics (state
+   updates, outputs) stay strictly per packet and in order. *)
+let process_batch t ~now pkts =
+  let key (pkt : Packet.t) =
+    match Metadata.msg_id pkt.Packet.metadata with
+    | Some id -> `Msg id
+    | None -> `Flow (Addr.hash_five_tuple pkt.Packet.flow)
+  in
+  let rec go prev_key acc = function
+    | [] -> List.rev acc
+    | pkt :: rest ->
+      let k = key pkt in
+      let charge_classify = Some k <> prev_key in
+      let d = process_one t ~now ~charge_classify pkt in
+      go (Some k) (d :: acc) rest
+  in
+  go None [] pkts
+
+let note_message_end t ~msg_id =
+  Hashtbl.iter (fun _ a -> State.msg_end a.a_state ~msg:msg_id) t.e_actions
+
+let note_flow_closed t flow =
+  match Addr.Flow_table.find_opt t.e_flow_ids flow with
+  | None -> ()
+  | Some id ->
+    Addr.Flow_table.remove t.e_flow_ids flow;
+    note_message_end t ~msg_id:id
+
+let expire_messages t ~now ~idle =
+  Hashtbl.fold (fun _ a acc -> acc + State.expire a.a_state ~now ~idle) t.e_actions 0

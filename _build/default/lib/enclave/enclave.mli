@@ -1,0 +1,173 @@
+(** The Eden enclave (paper §3.4).
+
+    One enclave sits on each end host's send path, either in the OS
+    stack or on a programmable NIC.  It owns:
+    - a set of match-action tables keyed on class names ({!Table}),
+    - installed action functions, interpreted bytecode or native closures,
+    - per-action state stores with copy-in / copy-out semantics ({!State}),
+    - its own five-tuple flow stage for packets with no stage metadata,
+    - per-packet cost accounting ({!Cost}).
+
+    The controller programs the enclave through the [install_*] /
+    [add_*] / [set_global*] functions — the paper's enclave API
+    (§3.4.5). The host network stack calls {!process} on every outgoing
+    packet. *)
+
+type placement = Os | Nic
+
+val placement_to_string : placement -> string
+
+(** What an action function decided about a packet. *)
+type decision =
+  | Forward of {
+      queue : int option;  (** Rate-limited queue id, when steered. *)
+      charge : int;  (** Bytes to charge that queue (Pulsar); wire size by default. *)
+    }
+  | Dropped of string  (** Reason (action set [Drop], or buffer overflow). *)
+
+(** Context handed to native (hard-coded) action functions — the baseline
+    the paper compares the interpreter against.  Native functions read
+    and write the same state store and the same outputs, so the only
+    difference from bytecode is the execution engine. *)
+module Native_ctx : sig
+  type t
+
+  val packet : t -> Eden_base.Packet.t
+  val metadata : t -> Eden_base.Metadata.t
+  val msg_id : t -> int64
+  val now : t -> Eden_base.Time.t
+  val rng : t -> Eden_base.Rng.t
+  val msg_get : t -> string -> default:int64 -> int64
+  val msg_set : t -> string -> int64 -> unit
+  val global_get : t -> string -> int64
+  val global_set : t -> string -> int64 -> unit
+  val global_array : t -> string -> int64 array
+  val set_priority : t -> int -> unit
+  val set_path : t -> int -> unit
+  val set_drop : t -> unit
+  val set_queue : t -> int -> unit
+  val set_charge : t -> int -> unit
+end
+
+type impl =
+  | Interpreted of Eden_bytecode.Program.t
+  | Native of (Native_ctx.t -> unit)
+
+(** Where a message-entity scalar comes from when marshalled into an
+    invocation environment. *)
+type msg_field_source =
+  | Stateful of int64  (** Enclave message state; the payload is the default. *)
+  | Metadata_int of string  (** An integer metadata field of the packet. *)
+  | Metadata_flag of string * string
+      (** [Metadata_flag (field, v)]: 1 when the (string) metadata field
+          equals [v], else 0 — e.g. [("operation", "READ")]. *)
+
+type install_spec = {
+  i_name : string;
+  i_impl : impl;
+  i_msg_sources : (string * msg_field_source) list;
+      (** Message fields not listed default to [Stateful 0L]. *)
+}
+
+type counters = {
+  mutable packets : int;
+  mutable dropped : int;
+  mutable invocations : int;
+  mutable native_invocations : int;
+  mutable faults : int;
+  mutable interp_steps : int;
+}
+
+type fault_record = {
+  fr_action : string;
+  fr_fault : Eden_bytecode.Interp.fault;
+  fr_time : Eden_base.Time.t;
+}
+
+type t
+
+val create : ?placement:placement -> ?seed:int64 -> host:Eden_base.Addr.host -> unit -> t
+val host : t -> Eden_base.Addr.host
+val placement : t -> placement
+
+val flow_stage : t -> Eden_stage.Stage.t
+(** The enclave's own packet-header stage; install five-tuple rule-sets
+    here to classify traffic from unmodified applications. *)
+
+val set_enforce : t -> bool -> unit
+(** When [false], action functions run but their outputs are not applied
+    to packets — the paper's "Baseline (Eden)" configuration that
+    measures pure data-path overhead (§5.1). *)
+
+(** {2 Enclave API (controller-facing, §3.4.5)} *)
+
+val install_action : t -> install_spec -> (unit, string) result
+(** Verifies interpreted bytecode, validates the environment contract
+    (packet fields must be marshallable, metadata-sourced message fields
+    must be read-only), and creates the action's state store. *)
+
+val remove_action : t -> string -> bool
+val action_names : t -> string list
+
+val concurrency_of : t -> string -> [ `Parallel | `Per_message | `Serial ] option
+(** Concurrency level derived from the program's access annotations
+    (§3.4.4): read-only everywhere → parallel; message writes →
+    one packet per message; global writes → serial. Native actions are
+    conservatively serial. *)
+
+val add_table : t -> int
+(** Creates the next match-action table; returns its id (table 0 is
+    created with the enclave and is where processing starts). *)
+
+val add_table_rule :
+  t ->
+  ?table:int ->
+  pattern:Eden_base.Class_name.Pattern.t ->
+  action:string ->
+  unit ->
+  (int, string) result
+(** Fails when the action is not installed or the table does not exist. *)
+
+val remove_table_rule : t -> ?table:int -> int -> bool
+val tables : t -> Table.t list
+
+val set_global : t -> action:string -> string -> int64 -> (unit, string) result
+val get_global : t -> action:string -> string -> int64 option
+val set_global_array : t -> action:string -> string -> int64 array -> (unit, string) result
+val get_global_array : t -> action:string -> string -> int64 array option
+
+val counters : t -> counters
+val faults : t -> fault_record list
+(** Most recent first; bounded. *)
+
+val cost : t -> Cost.Accum.t
+val cost_model : t -> Cost.model
+
+val last_process_cost_ns : t -> float
+(** Eden-added CPU nanoseconds charged by the most recent {!process}
+    call (classification, marshalling, interpretation/native execution).
+    The simulated host turns this into data-path latency, so interpreted
+    and native configurations genuinely differ on the wire. *)
+
+(** {2 Data path} *)
+
+val process : t -> now:Eden_base.Time.t -> Eden_base.Packet.t -> decision
+(** Classify, match, execute, apply.  A faulting action function leaves
+    the packet unmodified and forwarded (fail-open), with the fault
+    recorded; the rest of the system is unaffected (§3.4.3). *)
+
+val process_batch :
+  t -> now:Eden_base.Time.t -> Eden_base.Packet.t list -> decision list
+(** The paper's batching extension (§6): consecutive packets of the same
+    message share one classification / metadata-handoff charge, so IO
+    batching lowers the per-packet cycle cost.  Decisions, state updates
+    and packet mutations are identical to calling {!process} on each
+    packet in order. *)
+
+val note_message_end : t -> msg_id:int64 -> unit
+(** Drop per-message state for a completed message in every action. *)
+
+val note_flow_closed : t -> Eden_base.Addr.five_tuple -> unit
+(** Release the flow's enclave-assigned message id and state. *)
+
+val expire_messages : t -> now:Eden_base.Time.t -> idle:Eden_base.Time.t -> int

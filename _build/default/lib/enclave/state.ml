@@ -1,0 +1,60 @@
+module Time = Eden_base.Time
+
+type msg_entry = {
+  fields : (string, int64) Hashtbl.t;
+  mutable last_touch : Time.t;
+}
+
+type t = {
+  global_scalars : (string, int64) Hashtbl.t;
+  global_arrays : (string, int64 array) Hashtbl.t;
+  messages : (int64, msg_entry) Hashtbl.t;
+}
+
+let create () =
+  {
+    global_scalars = Hashtbl.create 16;
+    global_arrays = Hashtbl.create 8;
+    messages = Hashtbl.create 256;
+  }
+
+let global_get t name = Option.value ~default:0L (Hashtbl.find_opt t.global_scalars name)
+let global_set t name v = Hashtbl.replace t.global_scalars name v
+let global_array t name = Option.value ~default:[||] (Hashtbl.find_opt t.global_arrays name)
+let global_array_set t name a = Hashtbl.replace t.global_arrays name a
+
+let msg_entry t msg now =
+  match Hashtbl.find_opt t.messages msg with
+  | Some e ->
+    e.last_touch <- now;
+    e
+  | None ->
+    let e = { fields = Hashtbl.create 4; last_touch = now } in
+    Hashtbl.replace t.messages msg e;
+    e
+
+let msg_get t ~msg ~field ~default ~now =
+  let e = msg_entry t msg now in
+  match Hashtbl.find_opt e.fields field with
+  | Some v -> v
+  | None ->
+    Hashtbl.replace e.fields field default;
+    default
+
+let msg_set t ~msg ~field v ~now =
+  let e = msg_entry t msg now in
+  Hashtbl.replace e.fields field v
+
+let msg_known t ~msg = Hashtbl.mem t.messages msg
+let msg_count t = Hashtbl.length t.messages
+let msg_end t ~msg = Hashtbl.remove t.messages msg
+
+let expire t ~now ~idle =
+  let cutoff = Time.sub now idle in
+  let stale =
+    Hashtbl.fold
+      (fun id e acc -> if Time.( < ) e.last_touch cutoff then id :: acc else acc)
+      t.messages []
+  in
+  List.iter (Hashtbl.remove t.messages) stale;
+  List.length stale

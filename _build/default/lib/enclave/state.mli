@@ -1,0 +1,44 @@
+(** Enclave state store.
+
+    Each installed action function owns one store holding its global state
+    (scalars and arrays) and its per-message state (scalars keyed by
+    message identifier).  The enclave runtime performs copy-in / copy-out
+    around every invocation: the interpreter works on a snapshot, and a
+    faulting program publishes nothing (paper §3.4.3–3.4.4).
+
+    Message entries record their last-touch time so idle messages can be
+    expired, and are dropped eagerly when the transport signals message
+    end. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Global state} *)
+
+val global_get : t -> string -> int64
+(** 0 for never-written fields. *)
+
+val global_set : t -> string -> int64 -> unit
+
+val global_array : t -> string -> int64 array
+(** The live array ([[||]] if unset).  Read-only users may alias it;
+    writers must go through {!global_array_set} or copy-out. *)
+
+val global_array_set : t -> string -> int64 array -> unit
+
+(** {2 Per-message state} *)
+
+val msg_get : t -> msg:int64 -> field:string -> default:int64 -> now:Eden_base.Time.t -> int64
+(** Reads a message field, creating the entry (and touching it) as needed. *)
+
+val msg_set : t -> msg:int64 -> field:string -> int64 -> now:Eden_base.Time.t -> unit
+
+val msg_known : t -> msg:int64 -> bool
+val msg_count : t -> int
+
+val msg_end : t -> msg:int64 -> unit
+(** Drop a message's state (flow terminated, message completed). *)
+
+val expire : t -> now:Eden_base.Time.t -> idle:Eden_base.Time.t -> int
+(** Drop messages idle longer than [idle]; returns how many were dropped. *)

@@ -1,0 +1,45 @@
+module Class_name = Eden_base.Class_name
+
+type rule = { rule_id : int; pattern : Class_name.Pattern.t; action : string }
+
+type t = { id : int; mutable rules : rule list; mutable next_rule_id : int }
+
+let create ~id = { id; rules = []; next_rule_id = 0 }
+let id t = t.id
+
+(* Keep rules sorted: higher specificity first; ties by insertion order
+   (rule_id ascending). *)
+let insert_sorted rules rule =
+  let spec r = Class_name.Pattern.specificity r.pattern in
+  let rec go = function
+    | [] -> [ rule ]
+    | r :: rest ->
+      if spec rule > spec r then rule :: r :: rest else r :: go rest
+  in
+  go rules
+
+let add_rule t ~pattern ~action =
+  let rule = { rule_id = t.next_rule_id; pattern; action } in
+  t.next_rule_id <- t.next_rule_id + 1;
+  t.rules <- insert_sorted t.rules rule;
+  rule
+
+let remove_rule t rule_id =
+  let before = List.length t.rules in
+  t.rules <- List.filter (fun r -> r.rule_id <> rule_id) t.rules;
+  List.length t.rules < before
+
+let rules t = t.rules
+
+let lookup t classes =
+  List.find_opt
+    (fun r -> List.exists (Class_name.Pattern.matches r.pattern) classes)
+    t.rules
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>table %d:@," t.id;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %s -> %s@," (Class_name.Pattern.to_string r.pattern) r.action)
+    t.rules;
+  Format.fprintf fmt "@]"

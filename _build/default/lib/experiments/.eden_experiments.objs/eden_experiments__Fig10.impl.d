@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Eden_base Eden_controller Eden_enclave Eden_functions Eden_netsim Int64 List Printf String

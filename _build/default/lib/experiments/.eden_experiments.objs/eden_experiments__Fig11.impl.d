@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Eden_base Eden_enclave Eden_functions Eden_netsim Eden_stage Eden_workloads Int64 List Option Printf String

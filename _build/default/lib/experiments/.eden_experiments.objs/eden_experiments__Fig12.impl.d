@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Eden_base Eden_enclave Eden_functions Eden_netsim Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Eden_base Eden_enclave Eden_functions Eden_netsim Eden_workloads Int64 List Printf String

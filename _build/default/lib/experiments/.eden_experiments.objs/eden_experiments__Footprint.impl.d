@@ -1,0 +1,1 @@
+lib/experiments/footprint.ml: Array Eden_base Eden_bytecode Eden_functions List Pias Port_knocking Printf Pulsar Replica_select Sff String Wcmp

@@ -1,0 +1,1 @@
+lib/experiments/listings.ml: Eden_bytecode Eden_functions Eden_lang Format List Pias Port_knocking Printf Pulsar Replica_select Sff Wcmp

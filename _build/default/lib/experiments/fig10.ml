@@ -1,0 +1,157 @@
+module Time = Eden_base.Time
+module Stats = Eden_base.Stats
+module Net = Eden_netsim.Net
+module Host = Eden_netsim.Host
+module Switch = Eden_netsim.Switch
+module Tcp = Eden_netsim.Tcp
+module Event = Eden_netsim.Event
+module Enclave = Eden_enclave.Enclave
+module Wcmp = Eden_functions.Wcmp
+module Topology = Eden_controller.Topology
+module Controller = Eden_controller.Controller
+
+type balancing = Ecmp | Wcmp
+
+let balancing_to_string = function Ecmp -> "ECMP" | Wcmp -> "WCMP"
+
+type engine = Native | Eden
+
+let engine_to_string = function Native -> "native" | Eden -> "EDEN"
+
+type params = {
+  runs : int;
+  duration : Time.t;
+  warmup : Time.t;
+  flows : int;
+  fast_path_bps : float;
+  slow_path_bps : float;
+  dupack_threshold : int;
+      (* 3 = vanilla TCP; larger values model the reorder-tolerant TCP the
+         paper points to for closing the gap to the min-cut. *)
+  seed : int64;
+}
+
+let default_params =
+  {
+    runs = 3;
+    duration = Time.ms 200;
+    warmup = Time.ms 40;
+    flows = 4;
+    fast_path_bps = 10e9;
+    slow_path_bps = 1e9;
+    dupack_threshold = 3;
+    seed = 1000L;
+  }
+
+type result = {
+  balancing : balancing;
+  engine : engine;
+  goodput_mbps : float;
+  goodput_ci95 : float;
+  retransmissions : int;
+}
+
+let fast_label = 1
+let slow_label = 2
+
+(* The controller computes the 10:1 WCMP matrix from the Fig. 1 topology;
+   ECMP is the equal-weight matrix over the same labels. *)
+let matrix_for params = function
+  | Wcmp ->
+    let topo = Topology.create () in
+    Topology.add_link topo "A" "C" ~capacity_bps:params.fast_path_bps;
+    Topology.add_link topo "C" "B" ~capacity_bps:params.fast_path_bps;
+    Topology.add_link topo "A" "D" ~capacity_bps:params.slow_path_bps;
+    Topology.add_link topo "D" "B" ~capacity_bps:params.slow_path_bps;
+    let ctl = Controller.create ~topology:topo () in
+    Controller.wcmp_path_matrix ctl ~src:"A" ~dst:"B"
+      ~labels:[ ([ "A"; "C"; "B" ], fast_label); ([ "A"; "D"; "B" ], slow_label) ]
+  | Ecmp -> Eden_functions.Wcmp.ecmp_matrix ~labels:[ fast_label; slow_label ]
+
+let run_once params balancing engine ~seed =
+  let net = Net.create ~seed () in
+  let sa = Net.add_switch net in
+  let sb = Net.add_switch net in
+  let h0 = Net.add_host net in
+  let h1 = Net.add_host net in
+  let edge_rate = params.fast_path_bps *. 2.0 in
+  let p0 = Net.connect_host net h0 sa ~rate_bps:edge_rate () in
+  Switch.set_dst_route sa ~dst:(Host.id h0) ~ports:[ p0 ];
+  let p1 = Net.connect_host net h1 sb ~rate_bps:edge_rate () in
+  Switch.set_dst_route sb ~dst:(Host.id h1) ~ports:[ p1 ];
+  let fa, fb = Net.connect_switches net sa sb ~rate_bps:params.fast_path_bps () in
+  let sl_a, sl_b = Net.connect_switches net sa sb ~rate_bps:params.slow_path_bps () in
+  (* Label forwarding (the paper's VLAN source routing). *)
+  Switch.set_label_route sa ~label:fast_label ~port:fa;
+  Switch.set_label_route sa ~label:slow_label ~port:sl_a;
+  Switch.set_label_route sb ~label:fast_label ~port:p1;
+  Switch.set_label_route sb ~label:slow_label ~port:p1;
+  (* Reverse direction (ACKs) rides destination routing on the fast path. *)
+  Switch.set_dst_route sb ~dst:(Host.id h0) ~ports:[ fb ];
+  Switch.set_dst_route sa ~dst:(Host.id h1) ~ports:[ fa ];
+  ignore sl_b;
+  (* NIC-placed enclave on the sender, as in the paper's testbed. *)
+  let enclave = Enclave.create ~placement:Enclave.Nic ~host:(Host.id h0) ~seed () in
+  let variant = match engine with Native -> `Native | Eden -> `Packet in
+  (match Wcmp.install ~variant enclave ~matrix:(matrix_for params balancing) with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Fig10: " ^ msg));
+  Host.set_enclave h0 enclave;
+  Host.set_tcp_config h0
+    { Tcp.default_config with Tcp.dupack_threshold = params.dupack_threshold };
+  let flows =
+    List.init params.flows (fun _ -> Net.open_flow net ~src:(Host.id h0) ~dst:(Host.id h1) ())
+  in
+  let total_bytes =
+    int_of_float ((params.fast_path_bps +. params.slow_path_bps) /. 8.0
+                  *. Time.to_sec (Time.add params.duration params.warmup))
+  in
+  List.iter
+    (fun f ->
+      Tcp.Sender.send_message f.Net.f_sender (total_bytes / params.flows * 2);
+      Tcp.Sender.close f.Net.f_sender)
+    flows;
+  (* Measure goodput over [warmup, warmup + duration). *)
+  let delivered () =
+    List.fold_left (fun acc f -> acc + Tcp.Receiver.bytes_delivered f.Net.f_receiver) 0 flows
+  in
+  let at_warmup = ref 0 in
+  Event.schedule_at (Net.event net) params.warmup (fun () -> at_warmup := delivered ());
+  Net.run ~until:(Time.add params.warmup params.duration) net;
+  let bytes = delivered () - !at_warmup in
+  let retx =
+    List.fold_left (fun acc f -> acc + Tcp.Sender.retransmissions f.Net.f_sender) 0 flows
+  in
+  (Stats.mbps ~bytes_transferred:bytes ~duration:params.duration, retx)
+
+let run_config params balancing engine =
+  let runs =
+    List.init params.runs (fun i ->
+        run_once params balancing engine ~seed:(Int64.add params.seed (Int64.of_int i)))
+  in
+  let s = Stats.Samples.of_list (List.map fst runs) in
+  {
+    balancing;
+    engine;
+    goodput_mbps = Stats.Samples.mean s;
+    goodput_ci95 = Stats.Samples.ci95 s;
+    retransmissions = List.fold_left (fun acc (_, r) -> acc + r) 0 runs / params.runs;
+  }
+
+let run_all ?(params = default_params) () =
+  List.concat_map
+    (fun balancing ->
+      List.map (fun engine -> run_config params balancing engine) [ Native; Eden ])
+    [ Ecmp; Wcmp ]
+
+let print results =
+  Printf.printf
+    "Figure 10: aggregate TCP goodput over the asymmetric (10G + 1G) topology\n";
+  Printf.printf "%-6s %-7s | %14s %10s\n" "scheme" "engine" "goodput (Mbps)" "retx/run";
+  Printf.printf "%s\n" (String.make 48 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%-6s %-7s | %9.0f±%-5.0f %9d\n"
+        (balancing_to_string r.balancing)
+        (engine_to_string r.engine) r.goodput_mbps r.goodput_ci95 r.retransmissions)
+    results

@@ -1,0 +1,46 @@
+(** Case study 2 — load balancing on the programmable NIC (paper §5.2,
+    Figs. 1 and 10).
+
+    Two hosts connected through two paths, 10 Gbps and 1 Gbps, as in
+    Fig. 1.  The enclave (placed on the NIC, as in the paper) runs the
+    WCMP action per packet: ECMP splits 1:1, WCMP 10:1 using the
+    controller's path matrix.  Long-running TCP flows measure aggregate
+    goodput.  Expected shape: ECMP collapses towards the slow path
+    (~2 Gbps), WCMP reaches several times that but stays below the
+    11 Gbps min-cut because per-packet spraying reorders TCP. *)
+
+type balancing = Ecmp | Wcmp
+
+val balancing_to_string : balancing -> string
+
+type engine = Native | Eden
+
+val engine_to_string : engine -> string
+
+type params = {
+  runs : int;
+  duration : Eden_base.Time.t;
+  warmup : Eden_base.Time.t;
+  flows : int;
+  fast_path_bps : float;
+  slow_path_bps : float;
+  dupack_threshold : int;
+      (** 3 = vanilla TCP; raise it for the reorder-tolerant-TCP ablation
+          the paper suggests (citing MPTCP) to close the gap to the
+          min-cut. *)
+  seed : int64;
+}
+
+val default_params : params
+
+type result = {
+  balancing : balancing;
+  engine : engine;
+  goodput_mbps : float;
+  goodput_ci95 : float;
+  retransmissions : int;
+}
+
+val run_config : params -> balancing -> engine -> result
+val run_all : ?params:params -> unit -> result list
+val print : result list -> unit

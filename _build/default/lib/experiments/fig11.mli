@@ -1,0 +1,45 @@
+(** Case study 3 — datacenter QoS with Pulsar (paper §5.3, Fig. 11).
+
+    Two tenants against one storage server behind a 1 Gbps link and a
+    RAM-disk-speed backend: tenant R issues 64 KB READs, tenant W 64 KB
+    WRITEs.  READ requests are tiny on the wire, so an unconstrained
+    reader floods the server's FIFO IO queue and collapses WRITE
+    throughput; charging READ requests by {e operation} size in each
+    client's rate limiter (the Pulsar action function) restores balance.
+
+    Three modes, as in the paper's figure: each tenant alone
+    ([`Isolated]), both together ([`Simultaneous]), and both together
+    with Pulsar rate control ([`Rate_controlled]). *)
+
+type mode = Isolated | Simultaneous | Rate_controlled
+
+val mode_to_string : mode -> string
+
+type engine = Native | Eden
+
+type params = {
+  duration : Eden_base.Time.t;
+  warmup : Eden_base.Time.t;
+  link_rate_bps : float;
+  disk_rate_bps : float;
+  tenant_rate_bps : float;  (** per-tenant guarantee under rate control *)
+  op_bytes : int;
+  seed : int64;
+}
+
+val default_params : params
+
+type result = {
+  mode : mode;
+  engine : engine option;  (** None for modes that do not use the enclave *)
+  read_mbps : float;  (** MB/s, as the paper's y-axis *)
+  write_mbps : float;
+}
+
+val run_mode : params -> ?engine:engine -> mode -> result
+
+val run_all : ?params:params -> unit -> result list
+(** Isolated, simultaneous, rate-controlled (Eden), rate-controlled
+    (native). *)
+
+val print : result list -> unit

@@ -1,0 +1,39 @@
+(** Eden's CPU overheads (paper §5.4, Fig. 12).
+
+    Twelve long-running TCP flows saturate a 10 Gbps uplink while the
+    enclave runs the SFF policy; the per-packet cost model's busy time is
+    sampled in 10 ms windows and each Eden component — the API (metadata
+    handoff), the enclave (classification, lookup, marshalling) and the
+    interpreter — is reported as a percentage of the vanilla stack's
+    per-packet cost, average and 95th percentile across windows. *)
+
+type component = Api | Enclave_mech | Interpreter
+
+val component_to_string : component -> string
+
+type params = {
+  flows : int;
+  duration : Eden_base.Time.t;
+  warmup : Eden_base.Time.t;
+  window : Eden_base.Time.t;
+  link_rate_bps : float;
+  seed : int64;
+}
+
+val default_params : params
+
+type result = {
+  component : component;
+  avg_pct : float;
+  p95_pct : float;
+}
+
+type run_output = {
+  results : result list;
+  total_avg_pct : float;
+  packets : int;
+  windows : int;
+}
+
+val run : ?params:params -> unit -> run_output
+val print : run_output -> unit

@@ -1,0 +1,22 @@
+(** Interpreter footprint (paper §5.4, last paragraph).
+
+    The paper reports operand stacks around 64 bytes and heaps around
+    256 bytes for the example programs.  This experiment compiles every
+    paper action function, verifies it, runs it on a representative
+    packet and reports static and dynamic footprint: code size, verified
+    maximum operand-stack depth, locals, heap cells, and steps per
+    packet. *)
+
+type entry = {
+  name : string;
+  code_len : int;  (** instructions *)
+  n_locals : int;
+  max_stack : int;  (** verifier bound, values (8 bytes each) *)
+  stack_bytes : int;
+  steps_per_packet : int;  (** measured on a representative invocation *)
+  heap_cells : int;
+  concurrency : string;
+}
+
+val run : unit -> entry list
+val print : entry list -> unit

@@ -1,0 +1,24 @@
+open Eden_functions
+
+let render title action program =
+  let source = Eden_lang.Pretty.action_to_string action in
+  let disasm = Format.asprintf "%a" Eden_bytecode.Program.pp program in
+  (title, Printf.sprintf "%s\n\n-- compiled --\n%s" source disasm)
+
+let all () =
+  [
+    render "Fig. 2 (top): WCMP, per-packet" Wcmp.action (Wcmp.program ());
+    render "Fig. 2 (bottom): messageWCMP" Wcmp.message_action (Wcmp.message_program ());
+    render "Fig. 3: Pulsar rate control" Pulsar.action (Pulsar.program ());
+    render "Figs. 4/7: PIAS priority selection" Pias.action (Pias.program ());
+    render "SFF (shortest flow first)" Sff.action (Sff.program ());
+    render "Port knocking (Table 1)" Port_knocking.action (Port_knocking.program ());
+    render "Replica selection (mcrouter-style)" Replica_select.action
+      (Replica_select.program ());
+  ]
+
+let print () =
+  List.iter
+    (fun (title, listing) ->
+      Printf.printf "=== %s ===\n%s\n\n" title listing)
+    (all ())

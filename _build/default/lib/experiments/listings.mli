@@ -1,0 +1,10 @@
+(** Program listings (paper Figs. 2, 3, 4/7).
+
+    Renders the action functions in the paper's F#-flavoured surface
+    syntax (via {!Eden_lang.Pretty}) together with their bytecode
+    disassembly, reproducing the listings the paper shows. *)
+
+val all : unit -> (string * string) list
+(** [(title, listing)] pairs. *)
+
+val print : unit -> unit

@@ -1,0 +1,1 @@
+lib/functions/ananta.ml: Array Compile Dsl Eden_base Eden_enclave Eden_lang Int64 Lazy List Result Schema

@@ -1,0 +1,1 @@
+lib/functions/app_priority.ml: Compile Dsl Eden_base Eden_enclave Eden_lang Int64 Lazy Result Schema String

@@ -1,0 +1,1 @@
+lib/functions/catalog.mli:

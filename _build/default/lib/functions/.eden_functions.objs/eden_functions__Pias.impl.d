@@ -1,0 +1,1 @@
+lib/functions/pias.ml: Array Compile Dsl Eden_base Eden_enclave Eden_lang Int64 Lazy Result Schema

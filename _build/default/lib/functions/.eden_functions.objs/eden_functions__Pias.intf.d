@@ -1,0 +1,1 @@
+lib/functions/pias.mli: Eden_bytecode Eden_enclave Eden_lang

@@ -1,0 +1,1 @@
+lib/functions/port_knocking.ml: Array Compile Dsl Eden_base Eden_enclave Eden_lang Int64 Lazy List Result Schema

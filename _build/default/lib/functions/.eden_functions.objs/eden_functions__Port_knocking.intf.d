@@ -1,0 +1,1 @@
+lib/functions/port_knocking.mli: Eden_bytecode Eden_enclave Eden_lang

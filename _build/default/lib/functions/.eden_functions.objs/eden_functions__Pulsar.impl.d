@@ -1,0 +1,1 @@
+lib/functions/pulsar.ml: Array Compile Dsl Eden_base Eden_enclave Eden_lang Int64 Lazy Result Schema

@@ -1,0 +1,1 @@
+lib/functions/pulsar.mli: Eden_bytecode Eden_enclave Eden_lang

@@ -1,0 +1,1 @@
+lib/functions/qjump.ml: Compile Dsl Eden_base Eden_enclave Eden_lang Float Int64 Lazy Result Schema

@@ -1,0 +1,1 @@
+lib/functions/replica_select.mli: Eden_base Eden_bytecode Eden_enclave Eden_lang

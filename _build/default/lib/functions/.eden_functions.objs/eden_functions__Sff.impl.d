@@ -1,0 +1,1 @@
+lib/functions/sff.ml: Array Compile Dsl Eden_base Eden_enclave Eden_lang Int64 Lazy Pias Result Schema

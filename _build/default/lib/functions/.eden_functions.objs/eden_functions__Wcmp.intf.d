@@ -1,0 +1,1 @@
+lib/functions/wcmp.mli: Eden_bytecode Eden_enclave Eden_lang

@@ -1,0 +1,101 @@
+open Eden_lang
+module Enclave = Eden_enclave.Enclave
+module Pattern = Eden_base.Class_name.Pattern
+
+let schema =
+  Schema.with_standard_packet
+    ~message:[ Schema.field "CachedDip" ~access:Schema.Read_write ~default:(-1L) ]
+    ~global_arrays:[ Schema.array "DipTable" ]
+    ()
+
+(* Weighted pick over [| label0; w0; … |], as in WCMP. *)
+let pick_fun =
+  let open Dsl in
+  fn "pick_dip" [ "i"; "acc"; "r" ]
+    (if_
+       (var "i" + int 1 >= glob_arr_len "DipTable")
+       (glob_arr "DipTable" (var "i"))
+       (if_
+          (var "r" < var "acc" + glob_arr "DipTable" (var "i" + int 1))
+          (glob_arr "DipTable" (var "i"))
+          (call "pick_dip"
+             [ var "i" + int 2; var "acc" + glob_arr "DipTable" (var "i" + int 1); var "r" ])))
+
+let action =
+  let open Dsl in
+  action ~funs:[ pick_fun ] "ananta"
+    (when_
+       (glob_arr_len "DipTable" >= int 2)
+       (seq
+          [
+            when_
+              (msg "CachedDip" < int 0)
+              (set_msg "CachedDip" (call "pick_dip" [ int 0; int 0; rand (int 1000) ]));
+            set_pkt "Path" (msg "CachedDip");
+          ]))
+
+let program_memo =
+  lazy
+    (match Compile.compile schema action with
+    | Ok p -> p
+    | Error e -> invalid_arg ("Ananta: " ^ Compile.error_to_string e))
+
+let program () = Lazy.force program_memo
+
+let native ctx =
+  let table = Enclave.Native_ctx.global_array ctx "DipTable" in
+  let n = Array.length table in
+  if n >= 2 then begin
+    let cached = Enclave.Native_ctx.msg_get ctx "CachedDip" ~default:(-1L) in
+    let dip =
+      if Int64.compare cached 0L >= 0 then cached
+      else begin
+        let r = Int64.of_int (Eden_base.Rng.int (Enclave.Native_ctx.rng ctx) 1000) in
+        let rec pick i acc =
+          if i + 1 >= n then table.(i)
+          else begin
+            let acc = Int64.add acc table.(i + 1) in
+            if Int64.compare r acc < 0 then table.(i) else pick (i + 2) acc
+          end
+        in
+        let dip = pick 0 0L in
+        Enclave.Native_ctx.msg_set ctx "CachedDip" dip;
+        dip
+      end
+    in
+    Enclave.Native_ctx.set_path ctx (Int64.to_int dip)
+  end
+
+let dip_table ~labels ~weights =
+  if List.length labels <> List.length weights || labels = [] then
+    invalid_arg "Ananta.dip_table: labels and weights must be non-empty and equal length";
+  let total = List.fold_left ( + ) 0 weights in
+  if total <= 0 then invalid_arg "Ananta.dip_table: weights must sum > 0";
+  let arr = Array.make (2 * List.length labels) 0L in
+  List.iteri
+    (fun i (label, w) ->
+      arr.(2 * i) <- Int64.of_int label;
+      arr.((2 * i) + 1) <- Int64.of_int (w * 1000 / total))
+    (List.combine labels weights);
+  arr
+
+let ( let* ) r f = Result.bind r f
+
+let install ?(name = "ananta") ?(variant = `Interpreted) ?(pattern = Pattern.any) enclave
+    ~dips =
+  let impl =
+    match variant with
+    | `Interpreted -> Enclave.Interpreted (program ())
+    | `Native -> Enclave.Native native
+  in
+  let* () =
+    Enclave.install_action enclave
+      {
+        Enclave.i_name = name;
+        i_impl = impl;
+        i_msg_sources = [ ("CachedDip", Enclave.Stateful (-1L)) ];
+      }
+  in
+  let* () = Enclave.set_global_array enclave ~action:name "DipTable" dips in
+  let* _ = Enclave.add_table_rule enclave ~pattern ~action:name () in
+  Ok ()

@@ -1,0 +1,31 @@
+(** Ananta-style cloud load balancing (paper Table 1; Patel et al. 2013).
+
+    Ananta spreads connections arriving at a virtual IP (VIP) across a
+    pool of direct IPs (DIPs), keeping each connection on one DIP and
+    returning responses by direct server return.  In Eden, the mux's
+    encap-to-DIP becomes label-based source routing: the first packet of
+    every connection picks a DIP (weighted random, controller-supplied
+    weights) and caches it in message state — the enclave's flow stage
+    makes each transport connection a message — so all later packets
+    follow it.
+
+    [_global.DipTable] is a flat array [\[| label0; w0; label1; w1; … |\]]
+    like WCMP's path matrix (weights in parts per 1000). *)
+
+val schema : Eden_lang.Schema.t
+val action : Eden_lang.Ast.t
+val program : unit -> Eden_bytecode.Program.t
+val native : Eden_enclave.Enclave.Native_ctx.t -> unit
+
+val dip_table : labels:int list -> weights:int list -> int64 array
+(** Build the table; weights are normalized to parts per 1000. *)
+
+val install :
+  ?name:string ->
+  ?variant:[ `Interpreted | `Native ] ->
+  ?pattern:Eden_base.Class_name.Pattern.t ->
+  Eden_enclave.Enclave.t ->
+  dips:int64 array ->
+  (unit, string) result
+(** Default pattern matches every class: steer all traffic; narrow with a
+    VIP-specific flow-stage rule-set in practice. *)

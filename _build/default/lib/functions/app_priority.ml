@@ -1,0 +1,67 @@
+open Eden_lang
+module Enclave = Eden_enclave.Enclave
+module Metadata = Eden_base.Metadata
+module Pattern = Eden_base.Class_name.Pattern
+
+let schema =
+  Schema.with_standard_packet
+    ~message:[ Schema.field "IsMatch" ]
+    ~global:[ Schema.field "MatchPriority"; Schema.field "OtherPriority" ]
+    ()
+
+let action =
+  let open Dsl in
+  action "app_priority"
+    (if_ (msg "IsMatch" = int 1)
+       (set_pkt "Priority" (glob "MatchPriority"))
+       (set_pkt "Priority" (glob "OtherPriority")))
+
+let program_memo =
+  lazy
+    (match Compile.compile schema action with
+    | Ok p -> p
+    | Error e -> invalid_arg ("App_priority: " ^ Compile.error_to_string e))
+
+let program () = Lazy.force program_memo
+
+(* Native functions read the metadata directly, so the match string is
+   captured in the closure at install time. *)
+let native_for ~match_msg_type ctx =
+  let md = Enclave.Native_ctx.metadata ctx in
+  let matches =
+    match Metadata.find_str Metadata.Field.msg_type md with
+    | Some v -> String.equal v match_msg_type
+    | None -> false
+  in
+  let field = if matches then "MatchPriority" else "OtherPriority" in
+  Enclave.Native_ctx.set_priority ctx (Int64.to_int (Enclave.Native_ctx.global_get ctx field))
+
+let default_pattern =
+  match Pattern.of_string "memcached.*.*" with Some p -> p | None -> assert false
+
+let ( let* ) r f = Result.bind r f
+
+let install ?(name = "app_priority") ?(variant = `Interpreted) ?(pattern = default_pattern)
+    enclave ~match_msg_type ~match_priority ~other_priority =
+  let impl =
+    match variant with
+    | `Interpreted -> Enclave.Interpreted (program ())
+    | `Native -> Enclave.Native (native_for ~match_msg_type)
+  in
+  let* () =
+    Enclave.install_action enclave
+      {
+        Enclave.i_name = name;
+        i_impl = impl;
+        i_msg_sources =
+          [ ("IsMatch", Enclave.Metadata_flag (Metadata.Field.msg_type, match_msg_type)) ];
+      }
+  in
+  let* () =
+    Enclave.set_global enclave ~action:name "MatchPriority" (Int64.of_int match_priority)
+  in
+  let* () =
+    Enclave.set_global enclave ~action:name "OtherPriority" (Int64.of_int other_priority)
+  in
+  let* _ = Enclave.add_table_rule enclave ~pattern ~action:name () in
+  Ok ()

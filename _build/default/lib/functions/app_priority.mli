@@ -1,0 +1,23 @@
+(** Application-level message prioritization.
+
+    The paper's opening example of application semantics at the data
+    plane (§1): treat a memcached GET differently from a PUT.  This
+    function assigns one 802.1q priority to messages whose [msg_type]
+    metadata matches a configured value and another to the rest of the
+    matched class — e.g. GETs at 6, PUTs at 1, so small latency-critical
+    requests overtake bulk writes on every queue. *)
+
+val schema : Eden_lang.Schema.t
+val action : Eden_lang.Ast.t
+val program : unit -> Eden_bytecode.Program.t
+
+val install :
+  ?name:string ->
+  ?variant:[ `Interpreted | `Native ] ->
+  ?pattern:Eden_base.Class_name.Pattern.t ->
+  Eden_enclave.Enclave.t ->
+  match_msg_type:string ->
+  match_priority:int ->
+  other_priority:int ->
+  (unit, string) result
+(** Default pattern ["memcached.*.*"]. *)

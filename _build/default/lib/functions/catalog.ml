@@ -1,0 +1,85 @@
+type app_semantics = No | Yes | Beneficial
+
+type entry = {
+  category : string;
+  example : string;
+  citation : string;
+  dp_state : bool;
+  dp_compute : bool;
+  app_semantics : app_semantics;
+  network_support : bool;
+  eden_out_of_box : bool;
+  implemented : string option;
+}
+
+let e category example citation ~state ~compute ~app ~net ~eden ?impl () =
+  {
+    category;
+    example;
+    citation;
+    dp_state = state;
+    dp_compute = compute;
+    app_semantics = app;
+    network_support = net;
+    eden_out_of_box = eden;
+    implemented = impl;
+  }
+
+(* Paper Table 1, row for row. *)
+let entries =
+  [
+    e "Load balancing" "WCMP" "Zhou et al. 2014" ~state:true ~compute:true ~app:No
+      ~net:false ~eden:true ~impl:"Wcmp" ();
+    e "Load balancing" "Message-based WCMP" "this paper" ~state:true ~compute:true
+      ~app:Yes ~net:false ~eden:true ~impl:"Wcmp.message_action" ();
+    e "Load balancing" "Ananta" "Patel et al. 2013" ~state:true ~compute:true ~app:No
+      ~net:false ~eden:true ~impl:"Ananta" ();
+    e "Load balancing" "Conga" "Alizadeh et al. 2014" ~state:true ~compute:true
+      ~app:Beneficial ~net:true ~eden:false ();
+    e "Load balancing" "Duet" "Gandhi et al. 2014" ~state:true ~compute:true ~app:No
+      ~net:true ~eden:false ();
+    e "Replica selection" "mcrouter" "Facebook 2014" ~state:true ~compute:true ~app:Yes
+      ~net:false ~eden:true ~impl:"Replica_select" ();
+    e "Replica selection" "SINBAD" "Chowdhury et al. 2013" ~state:true ~compute:true
+      ~app:Yes ~net:false ~eden:true ();
+    e "Datacenter QoS" "Pulsar" "Angel et al. 2014" ~state:true ~compute:true ~app:Yes
+      ~net:false ~eden:true ~impl:"Pulsar" ();
+    e "Datacenter QoS" "Storage QoS" "IOFlow/Pisces" ~state:true ~compute:true ~app:Yes
+      ~net:false ~eden:true ();
+    e "Datacenter QoS" "Network QoS" "Oktopus/FairCloud/NetShare/EyeQ" ~state:true
+      ~compute:true ~app:Yes ~net:false ~eden:true ();
+    e "Flow scheduling" "PIAS" "Bai et al. 2015" ~state:true ~compute:true ~app:No
+      ~net:false ~eden:true ~impl:"Pias" ();
+    e "Flow scheduling" "QJump" "Grosvenor et al. 2015" ~state:true ~compute:true
+      ~app:No ~net:false ~eden:true ~impl:"Qjump" ();
+    e "Congestion control" "Centralized congestion control" "Fastpass et al."
+      ~state:true ~compute:true ~app:Beneficial ~net:false ~eden:true ();
+    e "Congestion control" "Explicit rate control (D3, PASE, PDQ)"
+      "Wilson et al. 2011 …" ~state:true ~compute:true ~app:Yes ~net:true ~eden:false ();
+    e "Stateful firewall" "IDS (e.g. Snort)" "Cisco 2015" ~state:true ~compute:true
+      ~app:No ~net:false ~eden:false ();
+    e "Stateful firewall" "Port knocking" "Bianchi et al. 2014" ~state:true
+      ~compute:true ~app:No ~net:false ~eden:true ~impl:"Port_knocking" ();
+  ]
+
+let implemented_entries = List.filter (fun x -> x.implemented <> None) entries
+
+let app_to_string = function No -> "" | Yes -> "yes" | Beneficial -> "yes*"
+let b = function true -> "yes" | false -> ""
+
+let to_table () =
+  [ "Function"; "Example"; "DP state"; "DP compute"; "App semantics"; "Network support";
+    "Eden (out of the box)"; "In this repo" ]
+  :: List.map
+       (fun x ->
+         [
+           x.category;
+           x.example;
+           b x.dp_state;
+           b x.dp_compute;
+           app_to_string x.app_semantics;
+           b x.network_support;
+           b x.eden_out_of_box;
+           (match x.implemented with Some m -> m | None -> "");
+         ])
+       entries

@@ -1,0 +1,30 @@
+(** The paper's Table 1: example network functions, their data-plane
+    requirements, and whether Eden supports them out of the box.
+
+    Entries marked [implemented] have a runnable implementation in this
+    repository; the rest are catalogued for the table reproduction. *)
+
+type app_semantics = No | Yes | Beneficial
+(** [Beneficial] renders as the paper's 3*: the function works without
+    application semantics but would benefit from them (e.g. CONGA's
+    flowlets approximate messages). *)
+
+type entry = {
+  category : string;
+  example : string;
+  citation : string;
+  dp_state : bool;
+  dp_compute : bool;
+  app_semantics : app_semantics;
+  network_support : bool;  (** needs switch features beyond commodity *)
+  eden_out_of_box : bool;
+  implemented : string option;  (** module name in [eden.functions] *)
+}
+
+val entries : entry list
+(** Rows in the paper's order. *)
+
+val implemented_entries : entry list
+
+val to_table : unit -> string list list
+(** Header row plus one row per entry, for the bench harness printer. *)

@@ -1,0 +1,101 @@
+open Eden_lang
+module Enclave = Eden_enclave.Enclave
+module Pattern = Eden_base.Class_name.Pattern
+
+let schema =
+  Schema.with_standard_packet
+    ~message:
+      [
+        Schema.field "Size" ~access:Schema.Read_write;
+        (* desired_priority metadata, offset by one so 0 means "unset". *)
+        Schema.field "DesiredPlus1";
+      ]
+    ~global_arrays:[ Schema.array "Thresholds" ]
+    ()
+
+(* Fig. 7: update the message size, then either honour a pinned low
+   priority or search the thresholds. *)
+let search_fun =
+  let open Dsl in
+  fn "search" [ "i" ]
+    (if_ (var "i" >= glob_arr_len "Thresholds")
+       (int 7 - glob_arr_len "Thresholds")
+       (if_ (msg "Size" <= glob_arr "Thresholds" (var "i"))
+          (int 7 - var "i")
+          (call "search" [ var "i" + int 1 ])))
+
+let action =
+  let open Dsl in
+  action ~funs:[ search_fun ] "pias"
+    (set_msg "Size" (msg "Size" + pkt "Size")
+    ^^ set_pkt "Priority"
+         (if_ (msg "DesiredPlus1" > int 0) (msg "DesiredPlus1" - int 1) (call "search" [ int 0 ])))
+
+let program_memo =
+  lazy
+    (match Compile.compile schema action with
+    | Ok p -> p
+    | Error e -> invalid_arg ("Pias: " ^ Compile.error_to_string e))
+
+let program () = Lazy.force program_memo
+
+let priority_for ~thresholds ~size =
+  let n = Array.length thresholds in
+  let rec search i =
+    if i >= n then 7 - n
+    else if Int64.compare size thresholds.(i) <= 0 then 7 - i
+    else search (i + 1)
+  in
+  search 0
+
+let native ctx =
+  let pkt = Enclave.Native_ctx.packet ctx in
+  let size =
+    Int64.add
+      (Enclave.Native_ctx.msg_get ctx "Size" ~default:0L)
+      (Int64.of_int (Eden_base.Packet.wire_size pkt))
+  in
+  Enclave.Native_ctx.msg_set ctx "Size" size;
+  let desired =
+    match
+      Eden_base.Metadata.find_int "desired_priority_plus1"
+        (Enclave.Native_ctx.metadata ctx)
+    with
+    | Some d when Int64.compare d 0L > 0 -> Some (Int64.to_int d - 1)
+    | Some _ | None -> None
+  in
+  let thresholds = Enclave.Native_ctx.global_array ctx "Thresholds" in
+  let prio =
+    match desired with Some d -> d | None -> priority_for ~thresholds ~size
+  in
+  Enclave.Native_ctx.set_priority ctx prio
+
+let ( let* ) r f = Result.bind r f
+
+let install ?(name = "pias") ?(variant = `Interpreted) enclave ~thresholds =
+  if Array.length thresholds > 7 then Error "pias: at most 7 thresholds"
+  else begin
+    let impl =
+      match variant with
+      | `Interpreted -> Enclave.Interpreted (program ())
+      | `Native -> Enclave.Native native
+    in
+    let* () =
+      Enclave.install_action enclave
+        {
+          Enclave.i_name = name;
+          i_impl = impl;
+          i_msg_sources =
+            [
+              ("Size", Enclave.Stateful 0L);
+              ("DesiredPlus1", Enclave.Metadata_int "desired_priority_plus1");
+            ];
+        }
+    in
+    let* () = Enclave.set_global_array enclave ~action:name "Thresholds" thresholds in
+    let* _ = Enclave.add_table_rule enclave ~pattern:Pattern.any ~action:name () in
+    Ok ()
+  end
+
+let set_thresholds enclave ?(name = "pias") thresholds =
+  Enclave.set_global_array enclave ~action:name "Thresholds" thresholds

@@ -1,0 +1,30 @@
+(** PIAS-style dynamic flow scheduling (paper §2.1.3, Figs. 4 and 7).
+
+    Messages start at the highest priority and are demoted as the bytes
+    they have sent cross controller-computed thresholds — shortest-flow
+    first without application help.  [action] is the paper's Fig. 7
+    program: it accumulates [msg.Size], searches [_global.Thresholds]
+    and writes the packet's 802.1q priority; a message can pin a low
+    priority via the [desired_priority] metadata field (the [desired]
+    check of Fig. 7). *)
+
+val schema : Eden_lang.Schema.t
+val action : Eden_lang.Ast.t
+val program : unit -> Eden_bytecode.Program.t
+val native : Eden_enclave.Enclave.Native_ctx.t -> unit
+
+val priority_for : thresholds:int64 array -> size:int64 -> int
+(** Reference model: the priority the action computes for a message of
+    accumulated [size] (7 = highest). *)
+
+val install :
+  ?name:string ->
+  ?variant:[ `Interpreted | `Native ] ->
+  Eden_enclave.Enclave.t ->
+  thresholds:int64 array ->
+  (unit, string) result
+(** Thresholds ascending, at most 7 entries; priority 7 - i is assigned
+    while the accumulated size is ≤ thresholds[i]. *)
+
+val set_thresholds :
+  Eden_enclave.Enclave.t -> ?name:string -> int64 array -> (unit, string) result

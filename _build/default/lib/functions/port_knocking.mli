@@ -1,0 +1,30 @@
+(** Port-knocking stateful firewall (paper Table 1, after OpenState).
+
+    A per-source state machine kept in enclave global state: a source
+    host must "knock" on a secret sequence of ports before packets to the
+    protected port are let through; any wrong knock resets the sequence.
+    Everything else passes untouched.  This is the paper's example of a
+    stateful function Eden supports out of the box while OpenFlow-style
+    data planes cannot.
+
+    Deployed on the {e receiving} side in practice; in the simulator we
+    install it wherever the experiment needs the choke point. *)
+
+val schema : Eden_lang.Schema.t
+val action : Eden_lang.Ast.t
+val program : unit -> Eden_bytecode.Program.t
+val native : Eden_enclave.Enclave.Native_ctx.t -> unit
+
+val install :
+  ?name:string ->
+  ?variant:[ `Interpreted | `Native ] ->
+  Eden_enclave.Enclave.t ->
+  knocks:int list ->
+  protected_port:int ->
+  max_hosts:int ->
+  (unit, string) result
+(** [knocks] is the secret port sequence (1–4 ports); knock state is kept
+    per source host id in a [max_hosts]-sized table. *)
+
+val knock_state : Eden_enclave.Enclave.t -> ?name:string -> src:int -> unit -> int64 option
+(** Current automaton state for a source (tests/monitoring). *)

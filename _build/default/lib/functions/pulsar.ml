@@ -1,0 +1,96 @@
+open Eden_lang
+module Enclave = Eden_enclave.Enclave
+module Metadata = Eden_base.Metadata
+module Pattern = Eden_base.Class_name.Pattern
+
+let schema =
+  Schema.with_standard_packet
+    ~message:
+      [
+        Schema.field "IsRead";
+        Schema.field "OpSize";
+        Schema.field "Tenant";
+      ]
+    ~global_arrays:[ Schema.array "QueueMap" ]
+    ()
+
+(* Fig. 3: READs are policed on the operation size, everything else on
+   the packet size; the packet goes to the tenant's queue. *)
+let action =
+  let open Dsl in
+  action "pulsar"
+    (seq
+       [
+         set_pkt "Charge" (if_ (msg "IsRead" = int 1) (msg "OpSize") (pkt "Size"));
+         when_
+           (msg "Tenant" >= int 0 && msg "Tenant" < glob_arr_len "QueueMap")
+           (set_pkt "Queue" (glob_arr "QueueMap" (msg "Tenant")));
+       ])
+
+let program_memo =
+  lazy
+    (match Compile.compile schema action with
+    | Ok p -> p
+    | Error e -> invalid_arg ("Pulsar: " ^ Compile.error_to_string e))
+
+let program () = Lazy.force program_memo
+
+let native ctx =
+  let md = Enclave.Native_ctx.metadata ctx in
+  let pkt = Enclave.Native_ctx.packet ctx in
+  let is_read =
+    match Metadata.find_str Metadata.Field.operation md with
+    | Some "READ" -> true
+    | Some _ | None -> false
+  in
+  let charge =
+    if is_read then
+      match Metadata.find_int Metadata.Field.msg_size md with
+      | Some s -> Int64.to_int s
+      | None -> Eden_base.Packet.wire_size pkt
+    else Eden_base.Packet.wire_size pkt
+  in
+  Enclave.Native_ctx.set_charge ctx charge;
+  match Metadata.find_int Metadata.Field.tenant md with
+  | None -> ()
+  | Some tenant ->
+    let map = Enclave.Native_ctx.global_array ctx "QueueMap" in
+    let tenant = Int64.to_int tenant in
+    if tenant >= 0 && tenant < Array.length map then
+      Enclave.Native_ctx.set_queue ctx (Int64.to_int map.(tenant))
+
+let ( let* ) r f = Result.bind r f
+
+let storage_pattern =
+  match Pattern.of_string "storage.*.*" with
+  | Some p -> p
+  | None -> assert false
+
+let install ?(name = "pulsar") ?(variant = `Interpreted) enclave ~queue_map =
+  let impl =
+    match variant with
+    | `Interpreted -> Enclave.Interpreted (program ())
+    | `Native -> Enclave.Native native
+  in
+  let* () =
+    Enclave.install_action enclave
+      {
+        Enclave.i_name = name;
+        i_impl = impl;
+        i_msg_sources =
+          [
+            ("IsRead", Enclave.Metadata_flag (Metadata.Field.operation, "READ"));
+            ("OpSize", Enclave.Metadata_int Metadata.Field.msg_size);
+            ("Tenant", Enclave.Metadata_int Metadata.Field.tenant);
+          ];
+      }
+  in
+  let* () =
+    Enclave.set_global_array enclave ~action:name "QueueMap"
+      (Array.map Int64.of_int queue_map)
+  in
+  let* _ = Enclave.add_table_rule enclave ~pattern:storage_pattern ~action:name () in
+  Ok ()
+
+let set_queue_map enclave ?(name = "pulsar") queue_map =
+  Enclave.set_global_array enclave ~action:name "QueueMap" (Array.map Int64.of_int queue_map)

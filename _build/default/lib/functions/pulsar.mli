@@ -1,0 +1,27 @@
+(** Pulsar-style tenant rate control (paper §2.1.2, Figs. 3 and 11).
+
+    The action steers each packet to its tenant's rate-limited queue and
+    charges the queue by the cost the operation imposes on the storage
+    backend: READ requests are tiny on the wire but cause op-sized work,
+    so they are charged by operation size; everything else is charged by
+    packet size.  Message fields come from the storage stage's metadata
+    ([operation], [msg_size], [tenant]); the [_global.QueueMap] array
+    maps tenant → queue id. *)
+
+val schema : Eden_lang.Schema.t
+val action : Eden_lang.Ast.t
+val program : unit -> Eden_bytecode.Program.t
+val native : Eden_enclave.Enclave.Native_ctx.t -> unit
+
+val install :
+  ?name:string ->
+  ?variant:[ `Interpreted | `Native ] ->
+  Eden_enclave.Enclave.t ->
+  queue_map:int array ->
+  (unit, string) result
+(** [queue_map.(tenant)] is the tenant's queue id.  The action only fires
+    on classes matching [storage.*.*], so non-storage traffic bypasses
+    rate control; the caller still has to define the queues on the host
+    ({!Eden_netsim.Host.define_rate_queue}). *)
+
+val set_queue_map : Eden_enclave.Enclave.t -> ?name:string -> int array -> (unit, string) result

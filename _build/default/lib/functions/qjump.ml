@@ -1,0 +1,70 @@
+open Eden_lang
+module Enclave = Eden_enclave.Enclave
+module Metadata = Eden_base.Metadata
+module Pattern = Eden_base.Class_name.Pattern
+
+let level_field = "qjump_level"
+
+let schema =
+  Schema.with_standard_packet
+    ~message:[ Schema.field "Level" ]
+    ~global:[ Schema.field "MaxLevel" ]
+    ()
+
+let action =
+  let open Dsl in
+  action "qjump"
+    (when_
+       (msg "Level" > int 0)
+       (let_ "lvl"
+          (if_ (msg "Level" > glob "MaxLevel") (glob "MaxLevel") (msg "Level"))
+       @@ fun lvl -> set_pkt "Priority" lvl ^^ set_pkt "Queue" lvl))
+
+let program_memo =
+  lazy
+    (match Compile.compile schema action with
+    | Ok p -> p
+    | Error e -> invalid_arg ("Qjump: " ^ Compile.error_to_string e))
+
+let program () = Lazy.force program_memo
+
+let native ctx =
+  match Metadata.find_int level_field (Enclave.Native_ctx.metadata ctx) with
+  | None -> ()
+  | Some level when Int64.compare level 0L <= 0 -> ()
+  | Some level ->
+    let max_level = Enclave.Native_ctx.global_get ctx "MaxLevel" in
+    let lvl = Int64.to_int (if Int64.compare level max_level > 0 then max_level else level) in
+    Enclave.Native_ctx.set_priority ctx lvl;
+    Enclave.Native_ctx.set_queue ctx lvl
+
+let metadata_for ~level = Metadata.add level_field (Metadata.int level) Metadata.empty
+
+let ( let* ) r f = Result.bind r f
+
+let install ?(name = "qjump") ?(variant = `Interpreted) enclave ~levels =
+  if levels < 1 || levels > 7 then Error "qjump: levels must be within 1..7"
+  else begin
+    let impl =
+      match variant with
+      | `Interpreted -> Enclave.Interpreted (program ())
+      | `Native -> Enclave.Native native
+    in
+    let* () =
+      Enclave.install_action enclave
+        {
+          Enclave.i_name = name;
+          i_impl = impl;
+          i_msg_sources = [ ("Level", Enclave.Metadata_int level_field) ];
+        }
+    in
+    let* () = Enclave.set_global enclave ~action:name "MaxLevel" (Int64.of_int levels) in
+    let* _ = Enclave.add_table_rule enclave ~pattern:Pattern.any ~action:name () in
+    Ok ()
+  end
+
+let rate_for_level ~link_rate_bps ~levels ~level =
+  if level < 1 || level > levels then invalid_arg "Qjump.rate_for_level: bad level";
+  (* Higher levels buy latency with throughput: each level halves the
+     allowed rate; level 1 is work-conserving. *)
+  link_rate_bps *. Float.pow 0.5 (float_of_int (level - 1))

@@ -1,0 +1,34 @@
+(** QJump-style latency levels (paper Table 1; Grosvenor et al. 2015).
+
+    QJump assigns each application to a level: higher levels get strict
+    network priority but are rate-limited to a level-dependent throughput
+    factor, giving bounded latency to the highest level.  The Eden
+    rendition reads the level from stage metadata ([qjump_level]), maps
+    it to an 802.1q priority, and steers the packet to the level's
+    rate-limited queue (the host defines one token bucket per level).
+
+    Traffic without a level passes untouched. *)
+
+val schema : Eden_lang.Schema.t
+val action : Eden_lang.Ast.t
+val program : unit -> Eden_bytecode.Program.t
+val native : Eden_enclave.Enclave.Native_ctx.t -> unit
+
+val metadata_for : level:int -> Eden_base.Metadata.t
+(** Stage metadata announcing the sender's QJump level (1 = lowest). *)
+
+val install :
+  ?name:string ->
+  ?variant:[ `Interpreted | `Native ] ->
+  Eden_enclave.Enclave.t ->
+  levels:int ->
+  (unit, string) result
+(** Levels 1..[levels] map to priorities 1..[levels] (clamped to 7) and
+    queue ids 1..[levels].  Define the matching rate queues with
+    {!Eden_netsim.Host.define_rate_queue}. *)
+
+val rate_for_level : link_rate_bps:float -> levels:int -> level:int -> float
+(** QJump's throughput factor: level [l] is limited to
+    [link_rate * f^(l - 1)] with [f = 0.5] — higher levels trade
+    throughput for strict priority and bounded latency; level 1 is
+    work-conserving. *)

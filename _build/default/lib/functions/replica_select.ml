@@ -1,0 +1,69 @@
+open Eden_lang
+module Enclave = Eden_enclave.Enclave
+module Metadata = Eden_base.Metadata
+module Pattern = Eden_base.Class_name.Pattern
+
+let schema =
+  Schema.with_standard_packet
+    ~message:[ Schema.field "KeyHash" ]
+    ~global_arrays:[ Schema.array "ReplicaLabels" ]
+    ()
+
+let action =
+  let open Dsl in
+  action "replica_select"
+    (when_
+       (glob_arr_len "ReplicaLabels" > int 0 && msg "KeyHash" >= int 0)
+       (set_pkt "Path"
+          (glob_arr "ReplicaLabels" (msg "KeyHash" % glob_arr_len "ReplicaLabels"))))
+
+let program_memo =
+  lazy
+    (match Compile.compile schema action with
+    | Ok p -> p
+    | Error e -> invalid_arg ("Replica_select: " ^ Compile.error_to_string e))
+
+let program () = Lazy.force program_memo
+
+let replica_for ~n_replicas ~key_hash =
+  if n_replicas <= 0 then invalid_arg "replica_for: no replicas";
+  abs key_hash mod n_replicas
+
+let native ctx =
+  let labels = Enclave.Native_ctx.global_array ctx "ReplicaLabels" in
+  let n = Array.length labels in
+  if n > 0 then
+    match
+      Metadata.find_int "key_hash" (Enclave.Native_ctx.metadata ctx)
+    with
+    | Some h when Int64.compare h 0L >= 0 ->
+      let i = replica_for ~n_replicas:n ~key_hash:(Int64.to_int h) in
+      Enclave.Native_ctx.set_path ctx (Int64.to_int labels.(i))
+    | Some _ | None -> ()
+
+let ( let* ) r f = Result.bind r f
+
+let default_pattern =
+  match Pattern.of_string "memcached.*.*" with Some p -> p | None -> assert false
+
+let install ?(name = "replica_select") ?(variant = `Interpreted)
+    ?(pattern = default_pattern) enclave ~replica_labels =
+  let impl =
+    match variant with
+    | `Interpreted -> Enclave.Interpreted (program ())
+    | `Native -> Enclave.Native native
+  in
+  let* () =
+    Enclave.install_action enclave
+      {
+        Enclave.i_name = name;
+        i_impl = impl;
+        i_msg_sources = [ ("KeyHash", Enclave.Metadata_int "key_hash") ];
+      }
+  in
+  let* () =
+    Enclave.set_global_array enclave ~action:name "ReplicaLabels"
+      (Array.map Int64.of_int replica_labels)
+  in
+  let* _ = Enclave.add_table_rule enclave ~pattern ~action:name () in
+  Ok ()

@@ -1,0 +1,27 @@
+(** mcrouter-style replica selection (paper Table 1, §2.1.1).
+
+    Facebook's mcrouter routes memcached requests by key; SINBAD picks
+    write endpoints.  Eden expresses the same idea at the data plane: the
+    memcached stage attaches the key's hash ([key_hash]) to each GET/PUT
+    message, and the action picks a replica deterministically from the
+    hash and steers the message's packets to it with a route label
+    ([_global.ReplicaLabels], one label per replica; switches map labels
+    to replicas). All packets of one message go to the same replica. *)
+
+val schema : Eden_lang.Schema.t
+val action : Eden_lang.Ast.t
+val program : unit -> Eden_bytecode.Program.t
+val native : Eden_enclave.Enclave.Native_ctx.t -> unit
+
+val replica_for : n_replicas:int -> key_hash:int -> int
+(** Reference model of the hash → replica mapping. *)
+
+val install :
+  ?name:string ->
+  ?variant:[ `Interpreted | `Native ] ->
+  ?pattern:Eden_base.Class_name.Pattern.t ->
+  Eden_enclave.Enclave.t ->
+  replica_labels:int array ->
+  (unit, string) result
+(** Default pattern [memcached.*.*]: only memcached-classified traffic is
+    steered. *)

@@ -1,0 +1,71 @@
+open Eden_lang
+module Enclave = Eden_enclave.Enclave
+module Metadata = Eden_base.Metadata
+module Pattern = Eden_base.Class_name.Pattern
+
+let schema =
+  Schema.with_standard_packet
+    ~message:[ Schema.field "FlowSize" ]
+    ~global_arrays:[ Schema.array "Thresholds" ]
+    ()
+
+let search_fun =
+  let open Dsl in
+  fn "search" [ "i" ]
+    (if_ (var "i" >= glob_arr_len "Thresholds")
+       (int 7 - glob_arr_len "Thresholds")
+       (if_ (msg "FlowSize" <= glob_arr "Thresholds" (var "i"))
+          (int 7 - var "i")
+          (call "search" [ var "i" + int 1 ])))
+
+let action =
+  let open Dsl in
+  action ~funs:[ search_fun ] "sff"
+    (when_ (msg "FlowSize" > int 0) (set_pkt "Priority" (call "search" [ int 0 ])))
+
+let program_memo =
+  lazy
+    (match Compile.compile schema action with
+    | Ok p -> p
+    | Error e -> invalid_arg ("Sff: " ^ Compile.error_to_string e))
+
+let program () = Lazy.force program_memo
+
+let native ctx =
+  match
+    Metadata.find_int Metadata.Field.flow_size (Enclave.Native_ctx.metadata ctx)
+  with
+  | None -> ()
+  | Some size when Int64.compare size 0L <= 0 -> ()
+  | Some size ->
+    let thresholds = Enclave.Native_ctx.global_array ctx "Thresholds" in
+    Enclave.Native_ctx.set_priority ctx (Pias.priority_for ~thresholds ~size)
+
+let metadata_for ~size =
+  Metadata.empty |> Metadata.add Metadata.Field.flow_size (Metadata.int size)
+
+let ( let* ) r f = Result.bind r f
+
+let install ?(name = "sff") ?(variant = `Interpreted) enclave ~thresholds =
+  if Array.length thresholds > 7 then Error "sff: at most 7 thresholds"
+  else begin
+    let impl =
+      match variant with
+      | `Interpreted -> Enclave.Interpreted (program ())
+      | `Native -> Enclave.Native native
+    in
+    let* () =
+      Enclave.install_action enclave
+        {
+          Enclave.i_name = name;
+          i_impl = impl;
+          i_msg_sources = [ ("FlowSize", Enclave.Metadata_int Metadata.Field.flow_size) ];
+        }
+    in
+    let* () = Enclave.set_global_array enclave ~action:name "Thresholds" thresholds in
+    let* _ = Enclave.add_table_rule enclave ~pattern:Pattern.any ~action:name () in
+    Ok ()
+  end
+
+let set_thresholds enclave ?(name = "sff") thresholds =
+  Enclave.set_global_array enclave ~action:name "Thresholds" thresholds

@@ -1,0 +1,27 @@
+(** Shortest-flow-first scheduling with application support (paper §5.1).
+
+    Unlike PIAS, SFF does not track flow sizes at the data plane: the
+    application (stage) announces the flow's total size in metadata
+    ([flow_size]) when the flow starts, and the action function maps that
+    size to a fixed priority through the same threshold table.  The
+    mapping happens once per flow and never changes — the paper notes
+    this gives slightly better, less variable FCTs than PIAS. *)
+
+val schema : Eden_lang.Schema.t
+val action : Eden_lang.Ast.t
+val program : unit -> Eden_bytecode.Program.t
+val native : Eden_enclave.Enclave.Native_ctx.t -> unit
+
+val metadata_for : size:int -> Eden_base.Metadata.t
+(** Flow metadata announcing [flow_size] (what an SFF-aware stage
+    attaches to each flow's message). *)
+
+val install :
+  ?name:string ->
+  ?variant:[ `Interpreted | `Native ] ->
+  Eden_enclave.Enclave.t ->
+  thresholds:int64 array ->
+  (unit, string) result
+
+val set_thresholds :
+  Eden_enclave.Enclave.t -> ?name:string -> int64 array -> (unit, string) result

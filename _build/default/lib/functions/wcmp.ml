@@ -1,0 +1,109 @@
+open Eden_lang
+module Enclave = Eden_enclave.Enclave
+module Pattern = Eden_base.Class_name.Pattern
+
+let schema =
+  Schema.with_standard_packet
+    ~message:[ Schema.field "CachedPath" ~access:Schema.Read_write ~default:(-1L) ]
+    ~global_arrays:[ Schema.array "Paths" ]
+    ()
+
+(* Weighted-random pick over [| label0; w0; label1; w1; … |] (weights in
+   parts per 1000): draw r in [0, 1000) and walk the pairs accumulating
+   weight until it exceeds r. *)
+let pick_fun =
+  let open Dsl in
+  fn "pick" [ "i"; "acc"; "r" ]
+    (if_
+       (var "i" + int 1 >= glob_arr_len "Paths")
+       (glob_arr "Paths" (var "i"))
+       (if_
+          (var "r" < var "acc" + glob_arr "Paths" (var "i" + int 1))
+          (glob_arr "Paths" (var "i"))
+          (call "pick"
+             [ var "i" + int 2; var "acc" + glob_arr "Paths" (var "i" + int 1); var "r" ])))
+
+let action =
+  let open Dsl in
+  action ~funs:[ pick_fun ] "wcmp"
+    (when_
+       (glob_arr_len "Paths" >= int 2)
+       (set_pkt "Path" (call "pick" [ int 0; int 0; rand (int 1000) ])))
+
+(* messageWCMP (paper Fig. 2): cache the chosen path in message state so
+   every packet of the message follows the same path. *)
+let message_action =
+  let open Dsl in
+  action ~funs:[ pick_fun ] "message_wcmp"
+    (when_
+       (glob_arr_len "Paths" >= int 2)
+       (seq
+          [
+            when_
+              (msg "CachedPath" < int 0)
+              (set_msg "CachedPath" (call "pick" [ int 0; int 0; rand (int 1000) ]));
+            set_pkt "Path" (msg "CachedPath");
+          ]))
+
+let compile_exn act =
+  match Compile.compile schema act with
+  | Ok p -> p
+  | Error e -> invalid_arg ("Wcmp: " ^ Compile.error_to_string e)
+
+let program_memo = lazy (compile_exn action)
+let message_program_memo = lazy (compile_exn message_action)
+let program () = Lazy.force program_memo
+let message_program () = Lazy.force message_program_memo
+
+let native ctx =
+  let paths = Enclave.Native_ctx.global_array ctx "Paths" in
+  let n = Array.length paths in
+  if n >= 2 then begin
+    let r = Int64.of_int (Eden_base.Rng.int (Enclave.Native_ctx.rng ctx) 1000) in
+    let rec pick i acc =
+      if i + 1 >= n then paths.(i)
+      else begin
+        let acc = Int64.add acc paths.(i + 1) in
+        if Int64.compare r acc < 0 then paths.(i) else pick (i + 2) acc
+      end
+    in
+    Enclave.Native_ctx.set_path ctx (Int64.to_int (pick 0 0L))
+  end
+
+let ecmp_matrix ~labels =
+  let n = List.length labels in
+  if n = 0 then [||]
+  else begin
+    let w = 1000 / n in
+    let arr = Array.make (2 * n) 0L in
+    List.iteri
+      (fun i label ->
+        arr.(2 * i) <- Int64.of_int label;
+        arr.((2 * i) + 1) <- Int64.of_int (if i = n - 1 then 1000 - (w * (n - 1)) else w))
+      labels;
+    arr
+  end
+
+let ( let* ) r f = Result.bind r f
+
+let install ?(name = "wcmp") ?(variant = `Packet) enclave ~matrix =
+  let impl =
+    match variant with
+    | `Packet -> Enclave.Interpreted (program ())
+    | `Message -> Enclave.Interpreted (message_program ())
+    | `Native -> Enclave.Native native
+  in
+  let* () =
+    Enclave.install_action enclave
+      {
+        Enclave.i_name = name;
+        i_impl = impl;
+        i_msg_sources = [ ("CachedPath", Enclave.Stateful (-1L)) ];
+      }
+  in
+  let* () = Enclave.set_global_array enclave ~action:name "Paths" matrix in
+  let* _ = Enclave.add_table_rule enclave ~pattern:Pattern.any ~action:name () in
+  Ok ()
+
+let set_matrix enclave ?(name = "wcmp") matrix =
+  Enclave.set_global_array enclave ~action:name "Paths" matrix

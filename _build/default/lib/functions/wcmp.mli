@@ -1,0 +1,40 @@
+(** Weighted-cost multipathing (paper §2.1.1, Figs. 2 and 10).
+
+    The data-plane half of WCMP: pick a route label for each packet in a
+    weighted-random fashion from a controller-supplied path matrix.  The
+    matrix is a flat global array [\[| label0; w0; label1; w1; … |\]] with
+    weights in parts per 1000 (see
+    [Eden_controller.Controller.wcmp_path_matrix]).
+
+    Three variants:
+    - [action]: per-packet weighted choice (the paper's WCMP case study —
+      maximal balance, reorders TCP);
+    - [message_action]: messageWCMP from Fig. 2 — all packets of a message
+      keep the first packet's path (per connection under the enclave's
+      flow classification);
+    - ECMP is WCMP with equal weights: use {!ecmp_matrix}. *)
+
+val schema : Eden_lang.Schema.t
+val action : Eden_lang.Ast.t
+val message_action : Eden_lang.Ast.t
+
+val program : unit -> Eden_bytecode.Program.t
+val message_program : unit -> Eden_bytecode.Program.t
+
+val native : Eden_enclave.Enclave.Native_ctx.t -> unit
+(** Hard-coded equivalent of [action], for native-vs-Eden comparisons. *)
+
+val ecmp_matrix : labels:int list -> int64 array
+(** Equal-weight matrix over the given labels. *)
+
+val install :
+  ?name:string ->
+  ?variant:[ `Packet | `Message | `Native ] ->
+  Eden_enclave.Enclave.t ->
+  matrix:int64 array ->
+  (unit, string) result
+(** Install (default name ["wcmp"], packet variant), bind the global
+    [Paths] matrix, and match every class in table 0. *)
+
+val set_matrix : Eden_enclave.Enclave.t -> ?name:string -> int64 array -> (unit, string) result
+(** Controller update path: swap the path matrix at run time. *)

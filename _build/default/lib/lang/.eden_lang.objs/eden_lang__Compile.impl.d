@@ -1,0 +1,1 @@
+lib/lang/compile.ml: Array Ast Eden_bytecode Format Hashtbl Int64 List Map Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/lang/compile.mli: Ast Eden_bytecode Format Schema Typecheck

@@ -1,0 +1,1 @@
+lib/lang/dsl.ml: Ast Int64 List

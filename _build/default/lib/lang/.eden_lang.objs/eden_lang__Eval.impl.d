@@ -1,0 +1,1 @@
+lib/lang/eval.ml: Array Ast Eden_base Hashtbl Int64 List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/lang/eval.mli: Ast Eden_base

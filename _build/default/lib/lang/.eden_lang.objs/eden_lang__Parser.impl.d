@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Format Int64 List Printf String

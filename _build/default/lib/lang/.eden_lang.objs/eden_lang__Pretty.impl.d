@@ -1,0 +1,1 @@
+lib/lang/pretty.ml: Ast Format Int64 List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/lang/schema.ml: Ast List String

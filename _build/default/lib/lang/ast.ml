@@ -1,0 +1,134 @@
+type entity = Packet | Message | Global
+
+let entity_to_string = function
+  | Packet -> "packet"
+  | Message -> "msg"
+  | Global -> "_global"
+
+let entity_of_program = function
+  | Eden_bytecode.Program.Packet -> Packet
+  | Eden_bytecode.Program.Message -> Message
+  | Eden_bytecode.Program.Global -> Global
+
+let entity_to_program = function
+  | Packet -> Eden_bytecode.Program.Packet
+  | Message -> Eden_bytecode.Program.Message
+  | Global -> Eden_bytecode.Program.Global
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type unop = Neg | Not
+
+type expr =
+  | Int of int64
+  | Bool of bool
+  | Unit
+  | Var of string
+  | Field of entity * string
+  | Arr_get of entity * string * expr
+  | Arr_len of entity * string
+  | Let of { name : string; mutable_ : bool; rhs : expr; body : expr }
+  | Assign of string * expr
+  | Set_field of entity * string * expr
+  | Arr_set of entity * string * expr * expr
+  | If of expr * expr * expr
+  | While of expr * expr
+  | Seq of expr * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+  | Rand of expr
+  | Clock
+  | Hash of expr * expr
+
+type fundef = { fn_name : string; fn_params : string list; fn_body : expr }
+type t = { af_name : string; af_funs : fundef list; af_body : expr }
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | And -> "&&"
+  | Or -> "||"
+  | Band -> "&&&"
+  | Bor -> "|||"
+  | Bxor -> "^^^"
+  | Shl -> "<<<"
+  | Shr -> ">>>"
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let unop_to_string = function Neg -> "-" | Not -> "not"
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Int _ | Bool _ | Unit | Var _ | Field _ | Arr_len _ | Clock -> acc
+  | Arr_get (_, _, i) -> fold_expr f acc i
+  | Let { rhs; body; _ } -> fold_expr f (fold_expr f acc rhs) body
+  | Assign (_, e1) | Set_field (_, _, e1) | Unop (_, e1) | Rand e1 -> fold_expr f acc e1
+  | Arr_set (_, _, i, v) -> fold_expr f (fold_expr f acc i) v
+  | If (c, t, e1) -> fold_expr f (fold_expr f (fold_expr f acc c) t) e1
+  | While (c, b) | Seq (c, b) | Binop (_, c, b) | Hash (c, b) ->
+    fold_expr f (fold_expr f acc c) b
+  | Call (_, args) -> List.fold_left (fold_expr f) acc args
+
+let fold_action f acc t =
+  let acc = List.fold_left (fun acc fd -> fold_expr f acc fd.fn_body) acc t.af_funs in
+  fold_expr f acc t.af_body
+
+(* Merge accesses, upgrading to `Write when both appear. *)
+let merge_accesses items =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (ent, name, access) ->
+      let key = (ent, name) in
+      match Hashtbl.find_opt tbl key with
+      | None ->
+        Hashtbl.add tbl key access;
+        order := key :: !order
+      | Some `Write -> ()
+      | Some `Read -> if access = `Write then Hashtbl.replace tbl key `Write)
+    items;
+  List.rev_map (fun (ent, name) -> (ent, name, Hashtbl.find tbl (ent, name))) !order
+
+let fields_used t =
+  let collect acc = function
+    | Field (ent, name) -> (ent, name, `Read) :: acc
+    | Set_field (ent, name, _) -> (ent, name, `Write) :: acc
+    | _ -> acc
+  in
+  merge_accesses (List.rev (fold_action collect [] t))
+
+let arrays_used t =
+  let collect acc = function
+    | Arr_get (ent, name, _) | Arr_len (ent, name) -> (ent, name, `Read) :: acc
+    | Arr_set (ent, name, _, _) -> (ent, name, `Write) :: acc
+    | _ -> acc
+  in
+  merge_accesses (List.rev (fold_action collect [] t))

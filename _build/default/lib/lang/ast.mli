@@ -1,0 +1,90 @@
+(** Abstract syntax of the action-function language.
+
+    The paper writes action functions as F# code quotations over a subset
+    of F# — no objects, exceptions or floating point; arithmetic,
+    assignments, function definitions and basic control flow (§3.4.2).
+    Here the same subset is an OCaml-embedded AST: what the F# quotation
+    machinery delivered to the paper's compiler, we build directly (see
+    {!Dsl} for concise constructors).
+
+    Action functions receive three implicit entities — [packet], [msg] and
+    [_global] — whose fields and arrays are declared by a {!Schema.t} and
+    accessed with the [Field]/[Arr_*] constructors. *)
+
+type entity = Packet | Message | Global
+
+val entity_to_string : entity -> string
+val entity_of_program : Eden_bytecode.Program.entity -> entity
+val entity_to_program : entity -> Eden_bytecode.Program.entity
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And  (** strict boolean and (both sides evaluated) *)
+  | Or
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type unop = Neg | Not
+
+type expr =
+  | Int of int64
+  | Bool of bool
+  | Unit
+  | Var of string
+  | Field of entity * string  (** [packet.Size] *)
+  | Arr_get of entity * string * expr  (** [_global.Priorities.[i]] *)
+  | Arr_len of entity * string
+  | Let of { name : string; mutable_ : bool; rhs : expr; body : expr }
+  | Assign of string * expr  (** [x <- e] on a mutable local *)
+  | Set_field of entity * string * expr  (** [packet.Priority <- e] *)
+  | Arr_set of entity * string * expr * expr  (** [arr.[i] <- e] *)
+  | If of expr * expr * expr
+  | While of expr * expr
+  | Seq of expr * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list  (** user function defined in the same action *)
+  | Rand of expr  (** intrinsic: uniform in [0, bound) *)
+  | Clock  (** intrinsic: high-frequency clock, ns *)
+  | Hash of expr * expr  (** intrinsic: 64-bit mix *)
+
+type fundef = {
+  fn_name : string;
+  fn_params : string list;  (** all parameters are integers *)
+  fn_body : expr;
+}
+(** [let rec f x y = body].  Direct tail self-recursion is compiled to a
+    loop; other recursion is rejected (the enclave has no call frames). *)
+
+type t = {
+  af_name : string;
+  af_funs : fundef list;
+  af_body : expr;
+}
+(** A complete action function: auxiliary definitions plus the body that
+    runs once per packet. *)
+
+val binop_to_string : binop -> string
+val unop_to_string : unop -> string
+
+val fold_expr : ('a -> expr -> 'a) -> 'a -> expr -> 'a
+(** Pre-order fold over an expression and all sub-expressions. *)
+
+val fields_used : t -> (entity * string * [ `Read | `Write ]) list
+(** Every scalar entity field the action touches, deduplicated, with the
+    strongest access observed. *)
+
+val arrays_used : t -> (entity * string * [ `Read | `Write ]) list

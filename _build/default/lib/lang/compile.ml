@@ -1,0 +1,342 @@
+module P = Eden_bytecode.Program
+module Op = Eden_bytecode.Opcode
+module Asm = Eden_bytecode.Asm
+module Smap = Map.Make (String)
+
+type error =
+  | Type_error of Typecheck.error
+  | Unsupported of string
+  | Verifier_rejected of Eden_bytecode.Verifier.error
+
+let error_to_string = function
+  | Type_error e -> Printf.sprintf "type error: %s" e.Typecheck.message
+  | Unsupported msg -> Printf.sprintf "unsupported: %s" msg
+  | Verifier_rejected e ->
+    Printf.sprintf "internal error: generated code failed verification: %s"
+      (Eden_bytecode.Verifier.error_to_string e)
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+exception Compile_error of error
+
+let unsupported fmt = Printf.ksprintf (fun m -> raise (Compile_error (Unsupported m))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec fold_consts (e : Ast.expr) : Ast.expr =
+  let open Ast in
+  match e with
+  | Int _ | Bool _ | Unit | Var _ | Field _ | Arr_len _ | Clock -> e
+  | Arr_get (ent, n, i) -> Arr_get (ent, n, fold_consts i)
+  | Let l -> Let { l with rhs = fold_consts l.rhs; body = fold_consts l.body }
+  | Assign (x, v) -> Assign (x, fold_consts v)
+  | Set_field (ent, n, v) -> Set_field (ent, n, fold_consts v)
+  | Arr_set (ent, n, i, v) -> Arr_set (ent, n, fold_consts i, fold_consts v)
+  | If (c, t, f) -> (
+    match fold_consts c with
+    | Bool true -> fold_consts t
+    | Bool false -> fold_consts f
+    | c' -> If (c', fold_consts t, fold_consts f))
+  | While (c, b) -> While (fold_consts c, fold_consts b)
+  | Seq (a, b) -> Seq (fold_consts a, fold_consts b)
+  | Unop (op, a) -> (
+    match (op, fold_consts a) with
+    | Neg, Int v -> Int (Int64.neg v)
+    | Not, Bool b -> Bool (not b)
+    | op, a' -> Unop (op, a'))
+  | Binop (op, a, b) -> (
+    let a' = fold_consts a and b' = fold_consts b in
+    match (op, a', b') with
+    | Add, Int x, Int y -> Int (Int64.add x y)
+    | Sub, Int x, Int y -> Int (Int64.sub x y)
+    | Mul, Int x, Int y -> Int (Int64.mul x y)
+    | (Div | Rem), Int _, Int 0L -> Binop (op, a', b') (* keep the runtime fault *)
+    | Div, Int x, Int y -> Int (Int64.div x y)
+    | Rem, Int x, Int y -> Int (Int64.rem x y)
+    | And, Bool x, Bool y -> Bool (x && y)
+    | Or, Bool x, Bool y -> Bool (x || y)
+    | Eq, Int x, Int y -> Bool (Int64.equal x y)
+    | Ne, Int x, Int y -> Bool (not (Int64.equal x y))
+    | Lt, Int x, Int y -> Bool (Int64.compare x y < 0)
+    | Le, Int x, Int y -> Bool (Int64.compare x y <= 0)
+    | Gt, Int x, Int y -> Bool (Int64.compare x y > 0)
+    | Ge, Int x, Int y -> Bool (Int64.compare x y >= 0)
+    | op, a', b' -> Binop (op, a', b'))
+  | Call (fn, args) -> Call (fn, List.map fold_consts args)
+  | Rand b -> Rand (fold_consts b)
+  | Hash (a, b) -> Hash (fold_consts a, fold_consts b)
+
+(* ------------------------------------------------------------------ *)
+(* Environment layout                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type layout = {
+  scalar_slots : P.scalar_slot array;
+  array_slots : P.array_slot array;
+  scalar_index : (Ast.entity * string, int) Hashtbl.t;  (* -> local *)
+  array_index : (Ast.entity * string, int) Hashtbl.t;  (* -> slot *)
+}
+
+let build_layout (action : Ast.t) =
+  let to_access = function `Read -> P.Read_only | `Write -> P.Read_write in
+  let fields = Ast.fields_used action in
+  let arrays = Ast.arrays_used action in
+  let scalar_index = Hashtbl.create 16 in
+  let array_index = Hashtbl.create 16 in
+  let scalar_slots =
+    Array.of_list
+      (List.mapi
+         (fun i (ent, name, access) ->
+           Hashtbl.replace scalar_index (ent, name) i;
+           {
+             P.s_name = name;
+             s_entity = Ast.entity_to_program ent;
+             s_access = to_access access;
+             s_local = i;
+           })
+         fields)
+  in
+  let array_slots =
+    Array.of_list
+      (List.mapi
+         (fun i (ent, name, access) ->
+           Hashtbl.replace array_index (ent, name) i;
+           { P.a_name = name; a_entity = Ast.entity_to_program ent; a_access = to_access access })
+         arrays)
+  in
+  { scalar_slots; array_slots; scalar_index; array_index }
+
+(* ------------------------------------------------------------------ *)
+(* Code generation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type tail_ctx = { t_fn : string; t_params : int list; t_start : string }
+
+let is_self_recursive fn (fd : Ast.fundef) =
+  Ast.fold_expr
+    (fun acc e -> acc || match e with Ast.Call (g, _) -> String.equal g fn | _ -> false)
+    false fd.fn_body
+
+type state = {
+  layout : layout;
+  funs : Ast.fundef Smap.t;
+  mutable items : Asm.item list;  (* reversed *)
+  mutable next_local : int;
+  mutable next_label : int;
+}
+
+let emit st item = st.items <- item :: st.items
+let emit_op st op = emit st (Asm.I op)
+
+let fresh_label st base =
+  let l = Printf.sprintf "%s_%d" base st.next_label in
+  st.next_label <- st.next_label + 1;
+  l
+
+let fresh_local st =
+  let l = st.next_local in
+  st.next_local <- l + 1;
+  l
+
+let scalar_local st ent name =
+  match Hashtbl.find_opt st.layout.scalar_index (ent, name) with
+  | Some l -> l
+  | None -> unsupported "field %s.%s missing from layout" (Ast.entity_to_string ent) name
+
+let array_slot st ent name =
+  match Hashtbl.find_opt st.layout.array_index (ent, name) with
+  | Some s -> s
+  | None -> unsupported "array %s.%s missing from layout" (Ast.entity_to_string ent) name
+
+let binop_code : Ast.binop -> Op.t = function
+  | Ast.Add -> Op.Add
+  | Ast.Sub -> Op.Sub
+  | Ast.Mul -> Op.Mul
+  | Ast.Div -> Op.Div
+  | Ast.Rem -> Op.Rem
+  | Ast.And -> Op.Band (* operands are canonical 0/1 *)
+  | Ast.Or -> Op.Bor
+  | Ast.Band -> Op.Band
+  | Ast.Bor -> Op.Bor
+  | Ast.Bxor -> Op.Bxor
+  | Ast.Shl -> Op.Shl
+  | Ast.Shr -> Op.Shr
+  | Ast.Eq -> Op.Eq
+  | Ast.Ne -> Op.Ne
+  | Ast.Lt -> Op.Lt
+  | Ast.Le -> Op.Le
+  | Ast.Gt -> Op.Gt
+  | Ast.Ge -> Op.Ge
+
+let max_inline_depth = 64
+
+(* [compile_expr st scope inline_stack tail e]:
+   - [scope] maps variable names to local indices;
+   - [inline_stack] is the chain of functions currently being inlined;
+   - [tail], when [Some ctx], marks that [e] sits in tail position of the
+     recursive function [ctx.t_fn], enabling the call-to-jump rewrite. *)
+let rec compile_expr st scope inline_stack tail (e : Ast.expr) : unit =
+  match e with
+  | Ast.Int v -> emit_op st (Op.Push v)
+  | Ast.Bool b -> emit_op st (Op.Push (if b then 1L else 0L))
+  | Ast.Unit -> ()
+  | Ast.Var x -> (
+    match Smap.find_opt x scope with
+    | Some l -> emit_op st (Op.Load l)
+    | None -> unsupported "unbound variable %S (compiler)" x)
+  | Ast.Field (ent, name) -> emit_op st (Op.Load (scalar_local st ent name))
+  | Ast.Arr_get (ent, name, idx) ->
+    compile_expr st scope inline_stack None idx;
+    emit_op st (Op.Gaload (array_slot st ent name))
+  | Ast.Arr_len (ent, name) -> emit_op st (Op.Galen (array_slot st ent name))
+  | Ast.Let { name; mutable_ = _; rhs; body } ->
+    compile_expr st scope inline_stack None rhs;
+    let l = fresh_local st in
+    emit_op st (Op.Store l);
+    compile_expr st (Smap.add name l scope) inline_stack tail body
+  | Ast.Assign (x, rhs) -> (
+    compile_expr st scope inline_stack None rhs;
+    match Smap.find_opt x scope with
+    | Some l -> emit_op st (Op.Store l)
+    | None -> unsupported "unbound variable %S (compiler)" x)
+  | Ast.Set_field (ent, name, rhs) ->
+    compile_expr st scope inline_stack None rhs;
+    emit_op st (Op.Store (scalar_local st ent name))
+  | Ast.Arr_set (ent, name, idx, rhs) ->
+    compile_expr st scope inline_stack None idx;
+    compile_expr st scope inline_stack None rhs;
+    emit_op st (Op.Gastore (array_slot st ent name))
+  | Ast.If (cond, then_, else_) ->
+    let else_l = fresh_label st "else" in
+    let end_l = fresh_label st "endif" in
+    compile_expr st scope inline_stack None cond;
+    emit st (Asm.Jz_l else_l);
+    compile_expr st scope inline_stack tail then_;
+    emit st (Asm.Jmp_l end_l);
+    emit st (Asm.Label else_l);
+    compile_expr st scope inline_stack tail else_;
+    emit st (Asm.Label end_l)
+  | Ast.While (cond, body) ->
+    let loop_l = fresh_label st "loop" in
+    let done_l = fresh_label st "done" in
+    emit st (Asm.Label loop_l);
+    compile_expr st scope inline_stack None cond;
+    emit st (Asm.Jz_l done_l);
+    compile_expr st scope inline_stack None body;
+    emit st (Asm.Jmp_l loop_l);
+    emit st (Asm.Label done_l)
+  | Ast.Seq (a, b) ->
+    compile_expr st scope inline_stack None a;
+    compile_expr st scope inline_stack tail b
+  | Ast.Binop (op, a, b) ->
+    compile_expr st scope inline_stack None a;
+    compile_expr st scope inline_stack None b;
+    emit_op st (binop_code op)
+  | Ast.Unop (Ast.Neg, a) ->
+    compile_expr st scope inline_stack None a;
+    emit_op st Op.Neg
+  | Ast.Unop (Ast.Not, a) ->
+    compile_expr st scope inline_stack None a;
+    emit_op st Op.Not
+  | Ast.Rand bound ->
+    compile_expr st scope inline_stack None bound;
+    emit_op st Op.Rand
+  | Ast.Clock -> emit_op st Op.Clock
+  | Ast.Hash (a, b) ->
+    compile_expr st scope inline_stack None a;
+    compile_expr st scope inline_stack None b;
+    emit_op st Op.Hashmix
+  | Ast.Call (fn, args) -> compile_call st scope inline_stack tail fn args
+
+and compile_call st scope inline_stack tail fn args =
+  (* Tail self-call inside the function currently being expanded as a
+     loop: assign parameters and jump back to the loop head. *)
+  match tail with
+  | Some ctx when String.equal ctx.t_fn fn ->
+    List.iter (fun a -> compile_expr st scope inline_stack None a) args;
+    List.iter (fun l -> emit_op st (Op.Store l)) (List.rev ctx.t_params);
+    emit st (Asm.Jmp_l ctx.t_start)
+  | _ ->
+    if List.mem fn inline_stack then
+      unsupported
+        "function %S: only direct tail self-recursion is supported (found a \
+         non-tail or mutually recursive call)"
+        fn;
+    if List.length inline_stack >= max_inline_depth then
+      unsupported "inlining depth limit exceeded at %S" fn;
+    let fd =
+      match Smap.find_opt fn st.funs with
+      | Some fd -> fd
+      | None -> unsupported "call to undefined function %S (compiler)" fn
+    in
+    (* Evaluate arguments left-to-right, then pop into fresh parameter
+       locals (reverse order: last argument is on top of the stack). *)
+    List.iter (fun a -> compile_expr st scope inline_stack None a) args;
+    let param_locals = List.map (fun _ -> fresh_local st) fd.fn_params in
+    List.iter (fun l -> emit_op st (Op.Store l)) (List.rev param_locals);
+    let fn_scope =
+      List.fold_left2
+        (fun acc p l -> Smap.add p l acc)
+        Smap.empty fd.fn_params param_locals
+    in
+    if is_self_recursive fn fd then begin
+      let start_l = fresh_label st ("fn_" ^ fn) in
+      emit st (Asm.Label start_l);
+      let ctx = { t_fn = fn; t_params = param_locals; t_start = start_l } in
+      compile_expr st fn_scope (fn :: inline_stack) (Some ctx) fd.fn_body
+    end
+    else compile_expr st fn_scope (fn :: inline_stack) None fd.fn_body
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compile ?(stack_limit = P.default_stack_limit) ?(heap_limit = P.default_heap_limit)
+    ?(step_limit = P.default_step_limit) schema (action : Ast.t) =
+  match Typecheck.check schema action with
+  | Error e -> Error (Type_error e)
+  | Ok () -> (
+    try
+      let action = { action with af_body = fold_consts action.af_body } in
+      let action =
+        {
+          action with
+          af_funs =
+            List.map
+              (fun (fd : Ast.fundef) -> { fd with fn_body = fold_consts fd.fn_body })
+              action.af_funs;
+        }
+      in
+      let layout = build_layout action in
+      let funs =
+        List.fold_left
+          (fun acc (fd : Ast.fundef) -> Smap.add fd.fn_name fd acc)
+          Smap.empty action.af_funs
+      in
+      let st =
+        {
+          layout;
+          funs;
+          items = [];
+          next_local = Array.length layout.scalar_slots;
+          next_label = 0;
+        }
+      in
+      compile_expr st Smap.empty [] None action.af_body;
+      let code =
+        match Asm.assemble (List.rev st.items) with
+        | Ok code -> code
+        | Error msg -> unsupported "assembly failed: %s" msg
+      in
+      let code = if Array.length code = 0 then [| Op.Halt |] else code in
+      let program =
+        P.make ~name:action.af_name ~code ~scalar_slots:layout.scalar_slots
+          ~array_slots:layout.array_slots ~n_locals:(max st.next_local 1) ~stack_limit
+          ~heap_limit ~step_limit ()
+      in
+      match Eden_bytecode.Verifier.verify program with
+      | Ok () -> Ok program
+      | Error e -> Error (Verifier_rejected e)
+    with Compile_error e -> Error e)

@@ -1,0 +1,34 @@
+(** The action-function compiler (paper §3.4.4).
+
+    Pipeline: type check → resolve input/output dependencies (which entity
+    fields and arrays the function touches become environment slots with
+    the access actually required) → translate the AST to stack bytecode.
+
+    Translation notes, matching the paper's description:
+    - Value types live on the operand stack and in locals; arrays live in
+      environment slots or the program heap.
+    - Direct tail self-recursion is recognized and compiled as a loop
+      (the paper's "recognizing tail recursion and compiling it as a
+      loop" optimization); other recursion is rejected because the
+      interpreter has no call frames.
+    - Non-recursive auxiliary functions are inlined at each call site.
+    - Constant sub-expressions are folded. *)
+
+type error =
+  | Type_error of Typecheck.error
+  | Unsupported of string
+      (** e.g. non-tail recursion, mutual recursion, excessive inlining *)
+  | Verifier_rejected of Eden_bytecode.Verifier.error
+      (** compiler bug guard: emitted code failed verification *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val compile :
+  ?stack_limit:int ->
+  ?heap_limit:int ->
+  ?step_limit:int ->
+  Schema.t ->
+  Ast.t ->
+  (Eden_bytecode.Program.t, error) result
+(** The result has passed {!Eden_bytecode.Verifier.verify}. *)

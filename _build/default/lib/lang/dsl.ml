@@ -1,0 +1,58 @@
+open Ast
+
+let int n = Int (Int64.of_int n)
+let i64 v = Int v
+let tru = Bool true
+let fls = Bool false
+let unit = Unit
+let var x = Var x
+let pkt f = Field (Packet, f)
+let msg f = Field (Message, f)
+let glob f = Field (Global, f)
+let set_pkt f e = Set_field (Packet, f, e)
+let set_msg f e = Set_field (Message, f, e)
+let set_glob f e = Set_field (Global, f, e)
+let msg_arr a i = Arr_get (Message, a, i)
+let glob_arr a i = Arr_get (Global, a, i)
+let set_msg_arr a i v = Arr_set (Message, a, i, v)
+let set_glob_arr a i v = Arr_set (Global, a, i, v)
+let msg_arr_len a = Arr_len (Message, a)
+let glob_arr_len a = Arr_len (Global, a)
+let let_ name rhs body = Let { name; mutable_ = false; rhs; body = body (Var name) }
+let let_mut name rhs body = Let { name; mutable_ = true; rhs; body = body (Var name) }
+let assign x e = Assign (x, e)
+let if_ c t f = If (c, t, f)
+let when_ c body = If (c, body, Unit)
+let while_ c body = While (c, body)
+let ( ^^ ) a b = Seq (a, b)
+
+let seq = function
+  | [] -> Unit
+  | e :: rest -> List.fold_left (fun acc x -> Seq (acc, x)) e rest
+
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( % ) a b = Binop (Rem, a, b)
+let ( = ) a b = Binop (Eq, a, b)
+let ( <> ) a b = Binop (Ne, a, b)
+let ( < ) a b = Binop (Lt, a, b)
+let ( <= ) a b = Binop (Le, a, b)
+let ( > ) a b = Binop (Gt, a, b)
+let ( >= ) a b = Binop (Ge, a, b)
+let ( && ) a b = Binop (And, a, b)
+let ( || ) a b = Binop (Or, a, b)
+let not_ a = Unop (Not, a)
+let neg a = Unop (Neg, a)
+let shl a b = Binop (Shl, a, b)
+let shr a b = Binop (Shr, a, b)
+let band a b = Binop (Band, a, b)
+let bor a b = Binop (Bor, a, b)
+let bxor a b = Binop (Bxor, a, b)
+let call fn args = Call (fn, args)
+let rand bound = Rand bound
+let clock = Clock
+let hash a b = Hash (a, b)
+let fn name params body = { fn_name = name; fn_params = params; fn_body = body }
+let action ?(funs = []) name body = { af_name = name; af_funs = funs; af_body = body }

@@ -1,0 +1,83 @@
+(** Concise constructors for action-function ASTs.
+
+    Intended to be opened locally:
+    {[
+      let open Eden_lang.Dsl in
+      action "pias"
+        (let_ "msg_size" (msg "Size" + pkt "Size") @@ fun msg_size ->
+         set_msg "Size" msg_size
+         ^^ set_pkt "Priority" (call "search" [ int 0 ]))
+    ]} *)
+
+open Ast
+
+val int : int -> expr
+val i64 : int64 -> expr
+val tru : expr
+val fls : expr
+val unit : expr
+val var : string -> expr
+
+val pkt : string -> expr
+(** [pkt "Size"] is [packet.Size]. *)
+
+val msg : string -> expr
+val glob : string -> expr
+val set_pkt : string -> expr -> expr
+val set_msg : string -> expr -> expr
+val set_glob : string -> expr -> expr
+
+val msg_arr : string -> expr -> expr
+(** [msg_arr "Window" i] is [msg.Window.[i]]. *)
+
+val glob_arr : string -> expr -> expr
+val set_msg_arr : string -> expr -> expr -> expr
+val set_glob_arr : string -> expr -> expr -> expr
+val msg_arr_len : string -> expr
+val glob_arr_len : string -> expr
+
+val let_ : string -> expr -> (expr -> expr) -> expr
+(** [let_ x rhs body] builds [let x = rhs in body (var x)]. *)
+
+val let_mut : string -> expr -> (expr -> expr) -> expr
+val assign : string -> expr -> expr
+
+val if_ : expr -> expr -> expr -> expr
+val when_ : expr -> expr -> expr
+(** [when_ c body] is [if c then body else ()] (body must be unit). *)
+
+val while_ : expr -> expr -> expr
+val ( ^^ ) : expr -> expr -> expr
+(** Sequencing. *)
+
+val seq : expr list -> expr
+(** [seq [a; b; c]] is [a ^^ b ^^ c]; [seq []] is [unit]. *)
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( % ) : expr -> expr -> expr
+val ( = ) : expr -> expr -> expr
+val ( <> ) : expr -> expr -> expr
+val ( < ) : expr -> expr -> expr
+val ( <= ) : expr -> expr -> expr
+val ( > ) : expr -> expr -> expr
+val ( >= ) : expr -> expr -> expr
+val ( && ) : expr -> expr -> expr
+val ( || ) : expr -> expr -> expr
+val not_ : expr -> expr
+val neg : expr -> expr
+val shl : expr -> expr -> expr
+val shr : expr -> expr -> expr
+val band : expr -> expr -> expr
+val bor : expr -> expr -> expr
+val bxor : expr -> expr -> expr
+
+val call : string -> expr list -> expr
+val rand : expr -> expr
+val clock : expr
+val hash : expr -> expr -> expr
+
+val fn : string -> string list -> expr -> fundef
+val action : ?funs:fundef list -> string -> expr -> t

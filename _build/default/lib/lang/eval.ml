@@ -1,0 +1,186 @@
+module Time = Eden_base.Time
+module Rng = Eden_base.Rng
+
+module State = struct
+  type t = {
+    fields_tbl : (Ast.entity * string, int64) Hashtbl.t;
+    arrays_tbl : (Ast.entity * string, int64 array) Hashtbl.t;
+  }
+
+  let create () = { fields_tbl = Hashtbl.create 16; arrays_tbl = Hashtbl.create 8 }
+  let set_field t ent name v = Hashtbl.replace t.fields_tbl (ent, name) v
+  let field t ent name = Option.value ~default:0L (Hashtbl.find_opt t.fields_tbl (ent, name))
+  let set_array t ent name a = Hashtbl.replace t.arrays_tbl (ent, name) a
+  let array t ent name = Option.value ~default:[||] (Hashtbl.find_opt t.arrays_tbl (ent, name))
+
+  let fields t =
+    Hashtbl.fold (fun (ent, name) v acc -> (ent, name, v) :: acc) t.fields_tbl []
+    |> List.sort compare
+end
+
+type error =
+  | Division_by_zero
+  | Array_bounds of { entity : Ast.entity; name : string; index : int }
+  | Step_limit_exceeded
+  | Bad_random_bound of int64
+  | Unbound of string
+
+let error_to_string = function
+  | Division_by_zero -> "division by zero"
+  | Array_bounds { entity; name; index } ->
+    Printf.sprintf "array %s.%s index %d out of bounds" (Ast.entity_to_string entity) name
+      index
+  | Step_limit_exceeded -> "step limit exceeded"
+  | Bad_random_bound b -> Printf.sprintf "rand bound %Ld not positive" b
+  | Unbound what -> Printf.sprintf "unbound %s" what
+
+exception Eval_error of error
+
+module Smap = Map.Make (String)
+
+type ctx = {
+  state : State.t;
+  funs : Ast.fundef Smap.t;
+  now : Time.t;
+  rng : Rng.t;
+  step_limit : int;
+  mutable steps : int;
+}
+
+(* Matches the interpreter's Hashmix op-code bit for bit. *)
+let hashmix a b =
+  let m = Int64.mul (Int64.logxor (Int64.mul a 0x9E3779B97F4A7C15L) b) 0xBF58476D1CE4E5B9L in
+  Int64.logxor m (Int64.shift_right_logical m 31)
+
+let bool_of v = not (Int64.equal v 0L)
+let of_bool b = if b then 1L else 0L
+
+(* Locals are immutable-by-reference cells so [Assign] is visible to the
+   rest of the scope. *)
+let rec eval ctx (locals : int64 ref Smap.t) (e : Ast.expr) : int64 =
+  ctx.steps <- ctx.steps + 1;
+  if ctx.steps > ctx.step_limit then raise (Eval_error Step_limit_exceeded);
+  match e with
+  | Ast.Int v -> v
+  | Ast.Bool b -> of_bool b
+  | Ast.Unit -> 0L
+  | Ast.Var x -> (
+    match Smap.find_opt x locals with
+    | Some r -> !r
+    | None -> raise (Eval_error (Unbound ("variable " ^ x))))
+  | Ast.Field (ent, name) -> State.field ctx.state ent name
+  | Ast.Arr_get (ent, name, idx) ->
+    let arr = State.array ctx.state ent name in
+    let i = Int64.to_int (eval ctx locals idx) in
+    if i < 0 || i >= Array.length arr then
+      raise (Eval_error (Array_bounds { entity = ent; name; index = i }));
+    arr.(i)
+  | Ast.Arr_len (ent, name) -> Int64.of_int (Array.length (State.array ctx.state ent name))
+  | Ast.Let { name; mutable_ = _; rhs; body } ->
+    let v = eval ctx locals rhs in
+    eval ctx (Smap.add name (ref v) locals) body
+  | Ast.Assign (x, rhs) -> (
+    let v = eval ctx locals rhs in
+    match Smap.find_opt x locals with
+    | Some r ->
+      r := v;
+      0L
+    | None -> raise (Eval_error (Unbound ("variable " ^ x))))
+  | Ast.Set_field (ent, name, rhs) ->
+    let v = eval ctx locals rhs in
+    State.set_field ctx.state ent name v;
+    0L
+  | Ast.Arr_set (ent, name, idx, rhs) ->
+    let arr = State.array ctx.state ent name in
+    let i = Int64.to_int (eval ctx locals idx) in
+    let v = eval ctx locals rhs in
+    if i < 0 || i >= Array.length arr then
+      raise (Eval_error (Array_bounds { entity = ent; name; index = i }));
+    arr.(i) <- v;
+    0L
+  | Ast.If (c, t, f) -> if bool_of (eval ctx locals c) then eval ctx locals t else eval ctx locals f
+  | Ast.While (c, body) ->
+    while bool_of (eval ctx locals c) do
+      ignore (eval ctx locals body)
+    done;
+    0L
+  | Ast.Seq (a, b) ->
+    ignore (eval ctx locals a);
+    eval ctx locals b
+  | Ast.Binop (op, a, b) -> binop ctx locals op a b
+  | Ast.Unop (Ast.Neg, a) -> Int64.neg (eval ctx locals a)
+  | Ast.Unop (Ast.Not, a) -> of_bool (not (bool_of (eval ctx locals a)))
+  | Ast.Call (fn, args) -> (
+    match Smap.find_opt fn ctx.funs with
+    | None -> raise (Eval_error (Unbound ("function " ^ fn)))
+    | Some fd ->
+      let values = List.map (fun a -> eval ctx locals a) args in
+      let frame =
+        List.fold_left2
+          (fun acc p v -> Smap.add p (ref v) acc)
+          Smap.empty fd.Ast.fn_params values
+      in
+      eval ctx frame fd.Ast.fn_body)
+  | Ast.Rand bound ->
+    let b = eval ctx locals bound in
+    if Int64.compare b 0L <= 0 then raise (Eval_error (Bad_random_bound b));
+    Int64.of_int (Rng.int ctx.rng (Int64.to_int b))
+  | Ast.Clock -> Time.to_ns ctx.now
+  | Ast.Hash (a, b) ->
+    let x = eval ctx locals a in
+    let y = eval ctx locals b in
+    hashmix x y
+
+and binop ctx locals op a b =
+  let x = eval ctx locals a in
+  let y = eval ctx locals b in
+  match op with
+  | Ast.Add -> Int64.add x y
+  | Ast.Sub -> Int64.sub x y
+  | Ast.Mul -> Int64.mul x y
+  | Ast.Div ->
+    if Int64.equal y 0L then raise (Eval_error Division_by_zero);
+    Int64.div x y
+  | Ast.Rem ->
+    if Int64.equal y 0L then raise (Eval_error Division_by_zero);
+    Int64.rem x y
+  | Ast.And -> of_bool (bool_of x && bool_of y)
+  | Ast.Or -> of_bool (bool_of x || bool_of y)
+  | Ast.Band -> Int64.logand x y
+  | Ast.Bor -> Int64.logor x y
+  | Ast.Bxor -> Int64.logxor x y
+  | Ast.Shl -> Int64.shift_left x (Int64.to_int y land 63)
+  | Ast.Shr -> Int64.shift_right_logical x (Int64.to_int y land 63)
+  | Ast.Eq -> of_bool (Int64.equal x y)
+  | Ast.Ne -> of_bool (not (Int64.equal x y))
+  | Ast.Lt -> of_bool (Int64.compare x y < 0)
+  | Ast.Le -> of_bool (Int64.compare x y <= 0)
+  | Ast.Gt -> of_bool (Int64.compare x y > 0)
+  | Ast.Ge -> of_bool (Int64.compare x y >= 0)
+
+let make_ctx ?(step_limit = 100_000) ?(now = Time.zero) ?rng funs =
+  let rng = match rng with Some r -> r | None -> Rng.create 0L in
+  {
+    state = State.create ();
+    funs;
+    now;
+    rng;
+    step_limit;
+    steps = 0;
+  }
+
+let run ?step_limit ?now ?rng (action : Ast.t) state =
+  let funs =
+    List.fold_left
+      (fun acc (fd : Ast.fundef) -> Smap.add fd.Ast.fn_name fd acc)
+      Smap.empty action.Ast.af_funs
+  in
+  let ctx = { (make_ctx ?step_limit ?now ?rng funs) with state } in
+  try
+    ignore (eval ctx Smap.empty action.Ast.af_body);
+    Ok ()
+  with Eval_error e -> Error e
+
+let eval_expr ?step_limit ?now ?rng expr state =
+  let ctx = { (make_ctx ?step_limit ?now ?rng Smap.empty) with state } in
+  try Ok (eval ctx Smap.empty expr) with Eval_error e -> Error e

@@ -1,0 +1,54 @@
+(** Reference evaluator for action functions.
+
+    A big-step interpreter over the AST with exactly the semantics the
+    compiled bytecode must have — 64-bit wrap-around arithmetic, faults on
+    division by zero and out-of-bounds array access, a step budget.  It
+    exists as the oracle for differential testing of the compiler
+    (compile+interpret vs evaluate must agree on every write), and doubles
+    as the "run and debug the program locally" workflow the paper gets
+    from the F# toolchain (§6). *)
+
+(** Mutable entity state the evaluation reads and writes. *)
+module State : sig
+  type t
+
+  val create : unit -> t
+  val set_field : t -> Ast.entity -> string -> int64 -> unit
+  val field : t -> Ast.entity -> string -> int64
+  (** 0 when never set. *)
+
+  val set_array : t -> Ast.entity -> string -> int64 array -> unit
+  val array : t -> Ast.entity -> string -> int64 array
+  (** [[||]] when never set. *)
+
+  val fields : t -> (Ast.entity * string * int64) list
+  (** All scalar bindings, sorted. *)
+end
+
+type error =
+  | Division_by_zero
+  | Array_bounds of { entity : Ast.entity; name : string; index : int }
+  | Step_limit_exceeded
+  | Bad_random_bound of int64
+  | Unbound of string  (** variable / function / recursion too deep *)
+
+val error_to_string : error -> string
+
+val run :
+  ?step_limit:int ->
+  ?now:Eden_base.Time.t ->
+  ?rng:Eden_base.Rng.t ->
+  Ast.t ->
+  State.t ->
+  (unit, error) result
+(** Evaluate the action body against the state; writable effects land in
+    the state.  [step_limit] (default 100_000) bounds AST nodes visited. *)
+
+val eval_expr :
+  ?step_limit:int ->
+  ?now:Eden_base.Time.t ->
+  ?rng:Eden_base.Rng.t ->
+  Ast.expr ->
+  State.t ->
+  (int64, error) result
+(** Evaluate a single (non-unit) expression; booleans come back as 0/1. *)

@@ -1,0 +1,578 @@
+type error = { line : int; col : int; message : string }
+
+let error_to_string e = Printf.sprintf "line %d, column %d: %s" e.line e.col e.message
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+exception Parse_error of error
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+type token =
+  | INT of int64
+  | IDENT of string
+  | KW_TRUE
+  | KW_FALSE
+  | KW_LET
+  | KW_REC
+  | KW_MUTABLE
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_ELIF
+  | KW_WHILE
+  | KW_DO
+  | KW_DONE
+  | KW_FUN
+  | KW_NOT
+  | KW_IN
+  | KW_BEGIN
+  | KW_END
+  | LPAREN
+  | RPAREN
+  | DOT
+  | DOT_LBRACKET  (** [.[]: array indexing *)
+  | RBRACKET
+  | ARROW  (** -> *)
+  | LARROW  (** <- *)
+  | NEWLINE
+  | SEMI
+  | OP of string  (** binary operators *)
+  | EOF
+
+let token_to_string = function
+  | INT v -> Printf.sprintf "%LdL" v
+  | IDENT s -> s
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_LET -> "let"
+  | KW_REC -> "rec"
+  | KW_MUTABLE -> "mutable"
+  | KW_IF -> "if"
+  | KW_THEN -> "then"
+  | KW_ELSE -> "else"
+  | KW_ELIF -> "elif"
+  | KW_WHILE -> "while"
+  | KW_DO -> "do"
+  | KW_DONE -> "done"
+  | KW_FUN -> "fun"
+  | KW_NOT -> "not"
+  | KW_IN -> "in"
+  | KW_BEGIN -> "begin"
+  | KW_END -> "end"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | DOT -> "."
+  | DOT_LBRACKET -> ".["
+  | RBRACKET -> "]"
+  | ARROW -> "->"
+  | LARROW -> "<-"
+  | NEWLINE -> "newline"
+  | SEMI -> ";"
+  | OP s -> s
+  | EOF -> "end of input"
+
+type ltoken = { tok : token; tline : int; tcol : int }
+
+let keyword_of_string = function
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "let" -> Some KW_LET
+  | "rec" -> Some KW_REC
+  | "mutable" -> Some KW_MUTABLE
+  | "if" -> Some KW_IF
+  | "then" -> Some KW_THEN
+  | "else" -> Some KW_ELSE
+  | "elif" -> Some KW_ELIF
+  | "while" -> Some KW_WHILE
+  | "do" -> Some KW_DO
+  | "done" -> Some KW_DONE
+  | "fun" -> Some KW_FUN
+  | "not" -> Some KW_NOT
+  | "in" -> Some KW_IN
+  | "begin" -> Some KW_BEGIN
+  | "end" -> Some KW_END
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let lex src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let err message = raise (Parse_error { line = !line; col = !col; message }) in
+  let emit tok = tokens := { tok; tline = !line; tcol = !col } :: !tokens in
+  let advance ?(k = 1) () =
+    for _ = 1 to k do
+      (if !i < n && src.[!i] = '\n' then begin
+         incr line;
+         col := 1
+       end
+       else incr col);
+      incr i
+    done
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      emit NEWLINE;
+      advance ()
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then advance ()
+    else if c = '/' && peek 1 = Some '/' then begin
+      (* line comment *)
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    end
+    else if c = '(' && peek 1 = Some '*' then begin
+      (* block comment, nested *)
+      let depth = ref 0 in
+      let continue = ref true in
+      while !continue do
+        if !i + 1 >= n then err "unterminated comment"
+        else if src.[!i] = '(' && src.[!i + 1] = '*' then begin
+          incr depth;
+          advance ~k:2 ()
+        end
+        else if src.[!i] = '*' && src.[!i + 1] = ')' then begin
+          decr depth;
+          advance ~k:2 ();
+          if !depth = 0 then continue := false
+        end
+        else advance ()
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && (is_digit src.[!i] || src.[!i] = '_') do
+        advance ()
+      done;
+      (* optional L suffix *)
+      let text = String.sub src start (!i - start) in
+      if !i < n && src.[!i] = 'L' then advance ();
+      let text = String.concat "" (String.split_on_char '_' text) in
+      match Int64.of_string_opt text with
+      | Some v -> emit (INT v)
+      | None -> err (Printf.sprintf "bad integer literal %S" text)
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      let text = String.sub src start (!i - start) in
+      match keyword_of_string text with
+      | Some kw -> emit kw
+      | None -> emit (IDENT text)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let three = if !i + 2 < n then String.sub src !i 3 else "" in
+      match () with
+      | _ when three = "&&&" || three = "|||" || three = "^^^" || three = "<<<" || three = ">>>" ->
+        emit (OP three);
+        advance ~k:3 ()
+      | _ when two = "->" ->
+        emit ARROW;
+        advance ~k:2 ()
+      | _ when two = "<-" ->
+        emit LARROW;
+        advance ~k:2 ()
+      | _ when two = "&&" || two = "||" || two = "<>" || two = "<=" || two = ">=" ->
+        emit (OP two);
+        advance ~k:2 ()
+      | _ when c = '.' && peek 1 = Some '[' ->
+        emit DOT_LBRACKET;
+        advance ~k:2 ()
+      | _ -> (
+        match c with
+        | '(' ->
+          emit LPAREN;
+          advance ()
+        | ')' ->
+          emit RPAREN;
+          advance ()
+        | ']' ->
+          emit RBRACKET;
+          advance ()
+        | '.' ->
+          emit DOT;
+          advance ()
+        | ';' ->
+          emit SEMI;
+          advance ()
+        | '+' | '-' | '*' | '/' | '%' | '=' | '<' | '>' ->
+          emit (OP (String.make 1 c));
+          advance ()
+        (* ':' and ',' only occur in the fun-header, which is skipped
+           wholesale; they are never valid in expressions. *)
+        | ':' | ',' ->
+          emit (OP (String.make 1 c));
+          advance ()
+        | _ -> err (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  emit EOF;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parser state *)
+
+type state = { mutable toks : ltoken list }
+
+let current st = match st.toks with t :: _ -> t | [] -> assert false
+
+let perr st message =
+  let t = current st in
+  raise (Parse_error { line = t.tline; col = t.tcol; message })
+
+let advance st = match st.toks with _ :: rest when rest <> [] -> st.toks <- rest | _ -> ()
+
+let skip_newlines st =
+  while (current st).tok = NEWLINE || (current st).tok = SEMI do
+    advance st
+  done
+
+(* Skip newlines only (used where a ';' would be meaningful). *)
+let peek_past_newlines st =
+  let rec go = function
+    | { tok = NEWLINE; _ } :: rest -> go rest
+    | t :: _ -> t.tok
+    | [] -> EOF
+  in
+  go st.toks
+
+let expect st tok message =
+  skip_newlines st;
+  if (current st).tok = tok then advance st
+  else perr st (Printf.sprintf "%s (found %s)" message (token_to_string (current st).tok))
+
+(* ------------------------------------------------------------------ *)
+(* Expression parsing (precedence climbing) *)
+
+let binop_of_string = function
+  | "+" -> Some Ast.Add
+  | "-" -> Some Ast.Sub
+  | "*" -> Some Ast.Mul
+  | "/" -> Some Ast.Div
+  | "%" -> Some Ast.Rem
+  | "&&" -> Some Ast.And
+  | "||" -> Some Ast.Or
+  | "&&&" -> Some Ast.Band
+  | "|||" -> Some Ast.Bor
+  | "^^^" -> Some Ast.Bxor
+  | "<<<" -> Some Ast.Shl
+  | ">>>" -> Some Ast.Shr
+  | "=" -> Some Ast.Eq
+  | "<>" -> Some Ast.Ne
+  | "<" -> Some Ast.Lt
+  | "<=" -> Some Ast.Le
+  | ">" -> Some Ast.Gt
+  | ">=" -> Some Ast.Ge
+  | _ -> None
+
+let prec_of_binop = function
+  | Ast.Or -> 2
+  | Ast.And -> 3
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 4
+  | Ast.Bor | Ast.Bxor -> 5
+  | Ast.Band -> 6
+  | Ast.Shl | Ast.Shr -> 7
+  | Ast.Add | Ast.Sub -> 8
+  | Ast.Mul | Ast.Div | Ast.Rem -> 9
+
+let entity_of_ident = function
+  | "packet" -> Some Ast.Packet
+  | "msg" -> Some Ast.Message
+  | "_global" -> Some Ast.Global
+  | _ -> None
+
+(* Expressions that continue across a newline: when the next meaningful
+   token is an infix operator or [then]/[do]/etc., newlines are soft. *)
+let rec parse_expr_prec st min_prec =
+  let lhs = parse_unary st in
+  parse_binop_rhs st lhs min_prec
+
+and parse_binop_rhs st lhs min_prec =
+  match peek_past_newlines st with
+  | OP s -> (
+    match binop_of_string s with
+    | Some op when prec_of_binop op >= min_prec ->
+      skip_newlines st;
+      advance st;
+      let rhs = parse_expr_prec st (prec_of_binop op + 1) in
+      parse_binop_rhs st (Ast.Binop (op, lhs, rhs)) min_prec
+    | Some _ | None -> lhs)
+  | _ -> lhs
+
+and parse_unary st =
+  skip_newlines st;
+  match (current st).tok with
+  | KW_NOT ->
+    advance st;
+    Ast.Unop (Ast.Not, parse_unary st)
+  | OP "-" ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | _ -> parse_application st
+
+(* Function application: IDENT atom+ (juxtaposition binds tightest). *)
+and parse_application st =
+  let head = parse_postfix st in
+  match head with
+  | Ast.Var name -> (
+    let args = parse_atoms st [] in
+    match (name, args) with
+    | _, [] -> head
+    | "rand", [ bound ] -> Ast.Rand bound
+    | "clock", [ Ast.Unit ] -> Ast.Clock
+    | "hash", [ a; b ] -> Ast.Hash (a, b)
+    | _, args -> Ast.Call (name, List.filter (fun a -> a <> Ast.Unit) args))
+  | _ -> head
+
+and parse_atoms st acc =
+  match (current st).tok with
+  | INT _ | KW_TRUE | KW_FALSE | LPAREN | IDENT _ ->
+    let a = parse_postfix st in
+    parse_atoms st (a :: acc)
+  | _ -> List.rev acc
+
+(* Postfix: primary with .Field, .[index], .Length chains. *)
+and parse_postfix st =
+  let base = parse_primary st in
+  parse_postfix_chain st base
+
+and parse_postfix_chain st base =
+  match (current st).tok with
+  | DOT -> (
+    advance st;
+    match ((current st).tok, base) with
+    | IDENT "Length", Ast.Field (ent, name) ->
+      advance st;
+      parse_postfix_chain st (Ast.Arr_len (ent, name))
+    | IDENT field, Ast.Var v -> (
+      match entity_of_ident v with
+      | Some ent ->
+        advance st;
+        parse_postfix_chain st (Ast.Field (ent, field))
+      | None -> perr st (Printf.sprintf "%S is not an entity (packet, msg, _global)" v))
+    | IDENT _, _ -> perr st "field access on a non-entity expression"
+    | _ -> perr st "expected a field name after '.'")
+  | DOT_LBRACKET -> (
+    match base with
+    | Ast.Field (ent, name) ->
+      advance st;
+      let idx = parse_expr_prec st 0 in
+      expect st RBRACKET "expected ']'";
+      parse_postfix_chain st (Ast.Arr_get (ent, name, idx))
+    | _ -> perr st "array indexing on a non-entity field")
+  | _ -> base
+
+and parse_primary st =
+  skip_newlines st;
+  match (current st).tok with
+  | INT v ->
+    advance st;
+    Ast.Int v
+  | KW_TRUE ->
+    advance st;
+    Ast.Bool true
+  | KW_FALSE ->
+    advance st;
+    Ast.Bool false
+  | IDENT name ->
+    advance st;
+    Ast.Var name
+  | KW_BEGIN ->
+    advance st;
+    let e = parse_block st in
+    expect st KW_END "expected 'end'";
+    e
+  | LPAREN -> (
+    advance st;
+    match peek_past_newlines st with
+    | RPAREN ->
+      skip_newlines st;
+      advance st;
+      Ast.Unit
+    | _ ->
+      let e = parse_block st in
+      expect st RPAREN "expected ')'";
+      e)
+  | KW_IF -> parse_if st
+  | KW_WHILE ->
+    advance st;
+    let cond = parse_expr_prec st 0 in
+    expect st KW_DO "expected 'do'";
+    let body = parse_block st in
+    expect st KW_DONE "expected 'done'";
+    Ast.While (cond, body)
+  | t -> perr st (Printf.sprintf "unexpected %s" (token_to_string t))
+
+and parse_if st =
+  expect st KW_IF "expected 'if'";
+  let cond = parse_expr_prec st 0 in
+  expect st KW_THEN "expected 'then'";
+  let then_ = parse_statement st in
+  match peek_past_newlines st with
+  | KW_ELSE ->
+    skip_newlines st;
+    advance st;
+    (match peek_past_newlines st with
+    | KW_IF ->
+      skip_newlines st;
+      Ast.If (cond, then_, parse_if st)
+    | _ -> Ast.If (cond, then_, parse_statement st))
+  | KW_ELIF ->
+    skip_newlines st;
+    (* treat elif as else-if: rewrite the token and recurse *)
+    (match st.toks with
+    | t :: rest -> st.toks <- { t with tok = KW_IF } :: rest
+    | [] -> ());
+    Ast.If (cond, then_, parse_if st)
+  | _ -> Ast.If (cond, then_, Ast.Unit)
+
+(* A statement: a let-binding header, an assignment, or an expression.
+   Branch bodies are single statements; use (...) or begin...end for
+   sequences. *)
+and parse_statement st =
+  skip_newlines st;
+  match (current st).tok with
+  | KW_LET -> perr st "let-bindings are only allowed at block level; wrap in (...)"
+  | _ -> (
+    let e = parse_expr_prec st 0 in
+    match (current st).tok with
+    | LARROW -> (
+      advance st;
+      let rhs = parse_expr_prec st 0 in
+      match e with
+      | Ast.Var x -> Ast.Assign (x, rhs)
+      | Ast.Field (ent, name) -> Ast.Set_field (ent, name, rhs)
+      | Ast.Arr_get (ent, name, idx) -> Ast.Arr_set (ent, name, idx, rhs)
+      | _ -> perr st "invalid assignment target")
+    | _ -> e)
+
+(* A block: let-bindings and statements separated by newlines or ';'. *)
+and parse_block st =
+  skip_newlines st;
+  match (current st).tok with
+  | KW_LET ->
+    advance st;
+    let mutable_ =
+      if (current st).tok = KW_MUTABLE then begin
+        advance st;
+        true
+      end
+      else false
+    in
+    let name =
+      match (current st).tok with
+      | IDENT n ->
+        advance st;
+        n
+      | t -> perr st (Printf.sprintf "expected a variable name, found %s" (token_to_string t))
+    in
+    expect st (OP "=") "expected '='";
+    let rhs = parse_expr_prec st 0 in
+    (* optional 'in' *)
+    (if peek_past_newlines st = KW_IN then begin
+       skip_newlines st;
+       advance st
+     end);
+    let body = parse_block st in
+    Ast.Let { name; mutable_; rhs; body }
+  | _ -> (
+    let stmt = parse_statement st in
+    match peek_past_newlines st with
+    | EOF | RPAREN | KW_END | KW_ELSE | KW_ELIF | KW_DONE | KW_THEN | KW_DO -> stmt
+    | _ ->
+      (* Another statement follows. *)
+      skip_newlines st;
+      let rest = parse_block st in
+      Ast.Seq (stmt, rest))
+
+(* ------------------------------------------------------------------ *)
+(* Action functions: optional fun-header, let rec definitions, body. *)
+
+let parse_header st =
+  if peek_past_newlines st = KW_FUN then begin
+    skip_newlines st;
+    advance st;
+    (* Skip everything to the '->'. *)
+    let rec go () =
+      match (current st).tok with
+      | ARROW -> advance st
+      | EOF -> perr st "unterminated 'fun' header (missing '->')"
+      | _ ->
+        advance st;
+        go ()
+    in
+    go ()
+  end
+
+let rec parse_fundefs st acc =
+  skip_newlines st;
+  match st.toks with
+  | { tok = KW_LET; _ } :: { tok = KW_REC; _ } :: _ ->
+    advance st;
+    advance st;
+    let name =
+      match (current st).tok with
+      | IDENT n ->
+        advance st;
+        n
+      | t -> perr st (Printf.sprintf "expected function name, found %s" (token_to_string t))
+    in
+    let rec params acc =
+      match (current st).tok with
+      | IDENT p ->
+        advance st;
+        params (p :: acc)
+      | LPAREN ->
+        (* () = no parameters *)
+        advance st;
+        expect st RPAREN "expected ')'";
+        List.rev acc
+      | _ -> List.rev acc
+    in
+    let ps = params [] in
+    expect st (OP "=") "expected '='";
+    let body = parse_statement_or_let st in
+    parse_fundefs st ({ Ast.fn_name = name; fn_params = ps; fn_body = body } :: acc)
+  | _ -> List.rev acc
+
+(* A fundef body: a single statement, or a let-chain in parens. *)
+and parse_statement_or_let st =
+  skip_newlines st;
+  match (current st).tok with
+  | LPAREN | KW_BEGIN -> parse_statement st
+  | _ -> parse_statement st
+
+let parse_action ?(name = "anonymous") src =
+  try
+    let st = { toks = lex src } in
+    parse_header st;
+    let funs = parse_fundefs st [] in
+    let body = parse_block st in
+    skip_newlines st;
+    (match (current st).tok with
+    | EOF -> ()
+    | t -> perr st (Printf.sprintf "trailing input: %s" (token_to_string t)));
+    Ok { Ast.af_name = name; af_funs = funs; af_body = body }
+  with Parse_error e -> Error e
+
+let parse_expr src =
+  try
+    let st = { toks = lex src } in
+    let e = parse_block st in
+    skip_newlines st;
+    (match (current st).tok with
+    | EOF -> ()
+    | t -> perr st (Printf.sprintf "trailing input: %s" (token_to_string t)));
+    Ok e
+  with Parse_error e -> Error e

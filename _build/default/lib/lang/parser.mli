@@ -1,0 +1,39 @@
+(** Parser for the action-function surface syntax.
+
+    The controller ships action functions to operators and tooling as
+    text; this parser accepts the same F#-flavoured syntax {!Pretty}
+    prints, so programs round-trip:
+
+    {v
+    fun (packet : Packet, msg : Message, _global : Global) ->
+      let rec search i =
+        if i >= _global.Thresholds.Length then 0L
+        else if msg.Size <= _global.Thresholds.[i] then 7L - i
+        else search (i + 1L)
+      msg.Size <- msg.Size + packet.Size
+      packet.Priority <- search 0L
+    v}
+
+    Grammar summary (layout-insensitive; sequencing by newline or [;]):
+    - literals: [42L], [42], [true], [false], [()]
+    - entity access: [packet.F], [msg.F], [_global.F], [e.A.[i]],
+      [e.A.Length]
+    - [let x = e], [let mutable x = e], [x <- e], [e.F <- e],
+      [e.A.[i] <- e]
+    - [if c then e1 else e2], [if c then e1] (unit), [while c do e done]
+    - [let rec f x y = body] function definitions before the body
+    - calls: [f a b]; intrinsics [rand e], [clock ()], [hash a b]
+    - operators with F# spellings: [+ - * / %], [= <> < <= > >=],
+      [&& ||], [not], [&&& ||| ^^^ <<< >>>] *)
+
+type error = { line : int; col : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val parse_action : ?name:string -> string -> (Ast.t, error) result
+(** Parse a complete action function (the [fun (packet, …) ->] header is
+    optional).  [name] defaults to ["anonymous"]. *)
+
+val parse_expr : string -> (Ast.expr, error) result
+(** Parse a single expression (tests and tooling). *)

@@ -1,0 +1,130 @@
+open Ast
+
+(* Precedence levels, loosely following F#: higher binds tighter. *)
+let binop_prec = function
+  | Or -> 2
+  | And -> 3
+  | Eq | Ne | Lt | Le | Gt | Ge -> 4
+  | Bor | Bxor -> 5
+  | Band -> 6
+  | Shl | Shr -> 7
+  | Add | Sub -> 8
+  | Mul | Div | Rem -> 9
+
+let entity_field ent name = Printf.sprintf "%s.%s" (entity_to_string ent) name
+
+let rec pp_expr fmt prec e =
+  let paren p body =
+    if prec > p then Format.fprintf fmt "(%t)" body else body fmt
+  in
+  match e with
+  | Int v ->
+    (* Negative literals are parenthesized so they re-parse as literals
+       rather than a subtraction in argument position. *)
+    if Int64.compare v 0L < 0 then Format.fprintf fmt "(%LdL)" v
+    else Format.fprintf fmt "%LdL" v
+  | Bool b -> Format.fprintf fmt "%b" b
+  | Unit -> Format.fprintf fmt "()"
+  | Var x -> Format.fprintf fmt "%s" x
+  | Field (ent, name) -> Format.fprintf fmt "%s" (entity_field ent name)
+  | Arr_get (ent, name, i) ->
+    Format.fprintf fmt "%s.[%a]" (entity_field ent name) (fun f -> pp_expr f 0) i
+  | Arr_len (ent, name) -> Format.fprintf fmt "%s.Length" (entity_field ent name)
+  | Let { name; mutable_; rhs; body } ->
+    paren 0 (fun fmt ->
+        Format.fprintf fmt "@[<v>let %s%s = %a@,%a@]"
+          (if mutable_ then "mutable " else "")
+          name
+          (fun f -> pp_expr f 0)
+          rhs
+          (fun f -> pp_expr f 0)
+          body)
+  | Assign (x, v) ->
+    paren 1 (fun fmt -> Format.fprintf fmt "%s <- %a" x (fun f -> pp_expr f 2) v)
+  | Set_field (ent, name, v) ->
+    paren 1 (fun fmt ->
+        Format.fprintf fmt "%s <- %a" (entity_field ent name) (fun f -> pp_expr f 2) v)
+  | Arr_set (ent, name, i, v) ->
+    paren 1 (fun fmt ->
+        Format.fprintf fmt "%s.[%a] <- %a" (entity_field ent name)
+          (fun f -> pp_expr f 0)
+          i
+          (fun f -> pp_expr f 2)
+          v)
+  | If (c, t, Unit) ->
+    (* Branches print at precedence 1 so sequences and lets come out
+       parenthesized — the parser's branch bodies are single statements. *)
+    paren 1 (fun fmt ->
+        Format.fprintf fmt "@[<v>if %a then@;<1 2>@[<v>%a@]@]"
+          (fun f -> pp_expr f 0)
+          c
+          (fun f -> pp_expr f 1)
+          t)
+  | If (c, t, f) ->
+    (* A nested [if] in then-position is parenthesized, otherwise the
+       [else] would attach to it on re-parse (dangling else). *)
+    let then_prec = match t with If _ -> 2 | _ -> 1 in
+    paren 1 (fun fmt ->
+        Format.fprintf fmt "@[<v>if %a then@;<1 2>@[<v>%a@]@,else@;<1 2>@[<v>%a@]@]"
+          (fun fm -> pp_expr fm 0)
+          c
+          (fun fm -> pp_expr fm then_prec)
+          t
+          (fun fm -> pp_expr fm 1)
+          f)
+  | While (c, b) ->
+    paren 1 (fun fmt ->
+        Format.fprintf fmt "@[<v>while %a do@;<1 2>@[<v>%a@]@,done@]"
+          (fun f -> pp_expr f 0)
+          c
+          (fun f -> pp_expr f 0)
+          b)
+  | Seq (a, b) ->
+    paren 0 (fun fmt ->
+        Format.fprintf fmt "@[<v>%a@,%a@]"
+          (fun f -> pp_expr f 1)
+          a
+          (fun f -> pp_expr f 0)
+          b)
+  | Binop (op, a, b) ->
+    let p = binop_prec op in
+    paren p (fun fmt ->
+        Format.fprintf fmt "%a %s %a"
+          (fun f -> pp_expr f p)
+          a (binop_to_string op)
+          (fun f -> pp_expr f (Stdlib.( + ) p 1))
+          b)
+  | Unop (Neg, a) -> paren 10 (fun fmt -> Format.fprintf fmt "-%a" (fun f -> pp_expr f 11) a)
+  | Unop (Not, a) ->
+    paren 10 (fun fmt -> Format.fprintf fmt "not %a" (fun f -> pp_expr f 11) a)
+  | Call (fn, args) ->
+    paren 10 (fun fmt ->
+        Format.fprintf fmt "%s%t" fn (fun fmt ->
+            if args = [] then Format.fprintf fmt " ()"
+            else
+              List.iter (fun a -> Format.fprintf fmt " %a" (fun f -> pp_expr f 11) a) args))
+  | Rand b -> paren 10 (fun fmt -> Format.fprintf fmt "rand %a" (fun f -> pp_expr f 11) b)
+  | Clock -> Format.fprintf fmt "clock ()"
+  | Hash (a, b) ->
+    paren 10 (fun fmt ->
+        Format.fprintf fmt "hash %a %a"
+          (fun f -> pp_expr f 11)
+          a
+          (fun f -> pp_expr f 11)
+          b)
+
+let pp_fundef fmt (fd : fundef) =
+  (* Precedence 1: a sequence or let body gets parentheses, matching the
+     parser's single-statement function bodies. *)
+  Format.fprintf fmt "@[<v>let rec %s %s =@;<1 2>@[<v>%a@]@]" fd.fn_name
+    (if fd.fn_params = [] then "()" else String.concat " " fd.fn_params)
+    (fun f -> pp_expr f 1)
+    fd.fn_body
+
+let pp_action fmt (t : t) =
+  Format.fprintf fmt "@[<v>fun (packet : Packet, msg : Message, _global : Global) ->@,";
+  List.iter (fun fd -> Format.fprintf fmt "  @[<v>%a@]@," pp_fundef fd) t.af_funs;
+  Format.fprintf fmt "  @[<v>%a@]@]" (fun f -> pp_expr f 0) t.af_body
+
+let expr_to_string e = Format.asprintf "%a" (fun f -> pp_expr f 0) e
+let action_to_string t = Format.asprintf "%a" pp_action t

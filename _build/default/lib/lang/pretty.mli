@@ -1,0 +1,10 @@
+(** F#-style rendering of action functions.
+
+    Reproduces the paper's program listings (e.g. Fig. 7): actions are
+    printed as F# lambdas over [(packet, msg, _global)] with [let]
+    bindings, [let rec] auxiliaries and [<-] assignments, so the bench
+    harness can emit the same listings the paper shows. *)
+
+val expr_to_string : Ast.expr -> string
+val action_to_string : Ast.t -> string
+val pp_action : Format.formatter -> Ast.t -> unit

@@ -1,0 +1,84 @@
+type access = Read_only | Read_write
+type header_map = { hm_protocol : string; hm_field : string }
+
+type field = {
+  f_name : string;
+  f_access : access;
+  f_header_maps : header_map list;
+  f_default : int64;
+}
+
+type array_decl = { a_name : string; a_access : access }
+type entity_schema = { fields : field list; arrays : array_decl list }
+type t = { packet : entity_schema; message : entity_schema; global : entity_schema }
+
+let field ?(access = Read_only) ?(header_maps = []) ?(default = 0L) name =
+  { f_name = name; f_access = access; f_header_maps = header_maps; f_default = default }
+
+let array ?(access = Read_only) name = { a_name = name; a_access = access }
+
+let empty_entity = { fields = []; arrays = [] }
+let empty = { packet = empty_entity; message = empty_entity; global = empty_entity }
+
+let make ?(packet = []) ?(message = []) ?(global = []) ?(message_arrays = [])
+    ?(global_arrays = []) () =
+  {
+    packet = { fields = packet; arrays = [] };
+    message = { fields = message; arrays = message_arrays };
+    global = { fields = global; arrays = global_arrays };
+  }
+
+let entity t = function
+  | Ast.Packet -> t.packet
+  | Ast.Message -> t.message
+  | Ast.Global -> t.global
+
+let find_field t ent name =
+  List.find_opt (fun f -> String.equal f.f_name name) (entity t ent).fields
+
+let find_array t ent name =
+  List.find_opt (fun a -> String.equal a.a_name name) (entity t ent).arrays
+
+let hm protocol field_name = { hm_protocol = protocol; hm_field = field_name }
+
+let standard_packet_fields =
+  [
+    field "Size" ~header_maps:[ hm "IPv4" "TotalLength"; hm "IPv6" "PayloadLength" ];
+    field "PayloadSize";
+    field "Priority" ~access:Read_write ~header_maps:[ hm "802.1q" "PriorityCodePoint" ];
+    field "Path" ~access:Read_write ~header_maps:[ hm "802.1q" "VlanId" ];
+    field "SrcHost";
+    field "SrcPort";
+    field "DstHost";
+    field "DstPort";
+    field "Proto";
+    field "IsData";
+    field "Drop" ~access:Read_write;
+    field "Queue" ~access:Read_write ~default:(-1L);
+    field "Charge" ~access:Read_write ~default:(-1L);
+    field "GotoTable" ~access:Read_write ~default:(-1L);
+  ]
+
+let with_standard_packet ?message ?global ?message_arrays ?global_arrays () =
+  make ~packet:standard_packet_fields ?message ?global ?message_arrays ?global_arrays ()
+
+(* Most permissive schema consistent with an action's usage: standard
+   packet fields, read-write message/global scalars and arrays for
+   whatever the action touches.  For tooling (parse-and-compile from
+   text); production installs should declare access explicitly. *)
+let infer (action : Ast.t) =
+  let scalar (ent, name, _access) =
+    match ent with
+    | Ast.Packet -> None
+    | Ast.Message | Ast.Global ->
+      Some (ent, { f_name = name; f_access = Read_write; f_header_maps = []; f_default = 0L })
+  in
+  let arr (ent, name, _access) = (ent, { a_name = name; a_access = Read_write }) in
+  let fields = List.filter_map scalar (Ast.fields_used action) in
+  let arrays = List.map arr (Ast.arrays_used action) in
+  let by ent l = List.filter_map (fun (e, x) -> if e = ent then Some x else None) l in
+  {
+    packet = { fields = standard_packet_fields; arrays = [] };
+    message = { fields = by Ast.Message fields; arrays = by Ast.Message arrays };
+    global = { fields = by Ast.Global fields; arrays = by Ast.Global arrays };
+  }

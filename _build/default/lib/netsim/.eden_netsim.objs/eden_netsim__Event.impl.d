@@ -1,0 +1,1 @@
+lib/netsim/event.ml: Array Eden_base

@@ -1,0 +1,1 @@
+lib/netsim/event.mli: Eden_base

@@ -1,0 +1,1 @@
+lib/netsim/fabric.ml: Array Host Net Switch

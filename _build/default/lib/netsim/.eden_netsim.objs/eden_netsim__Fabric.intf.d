@@ -1,0 +1,1 @@
+lib/netsim/fabric.mli: Eden_base Host Net Switch

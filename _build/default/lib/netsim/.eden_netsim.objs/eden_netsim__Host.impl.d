@@ -1,0 +1,1 @@
+lib/netsim/host.ml: Eden_base Eden_enclave Event Hashtbl Int64 Link Option Tcp

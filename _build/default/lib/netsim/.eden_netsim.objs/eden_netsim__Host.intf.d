@@ -1,0 +1,1 @@
+lib/netsim/host.mli: Eden_base Eden_enclave Event Link Tcp

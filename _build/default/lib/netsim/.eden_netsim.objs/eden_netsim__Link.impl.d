@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Eden_base Eden_enclave Event Trace

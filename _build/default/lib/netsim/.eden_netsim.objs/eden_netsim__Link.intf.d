@@ -1,0 +1,1 @@
+lib/netsim/link.mli: Eden_base Event Trace

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Eden_base Event Host Int64 Link List Option Printf Switch Tcp Trace

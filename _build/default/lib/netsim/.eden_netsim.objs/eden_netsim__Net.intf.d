@@ -1,0 +1,1 @@
+lib/netsim/net.mli: Eden_base Event Host Switch Tcp Trace

@@ -1,0 +1,1 @@
+lib/netsim/switch.ml: Array Eden_base Hashtbl Link

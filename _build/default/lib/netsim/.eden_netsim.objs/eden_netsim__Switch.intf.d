@@ -1,0 +1,1 @@
+lib/netsim/switch.mli: Eden_base Event Link

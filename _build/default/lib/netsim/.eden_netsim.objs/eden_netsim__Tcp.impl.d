@@ -1,0 +1,1 @@
+lib/netsim/tcp.ml: Array Eden_base Event Float Hashtbl Int64 List Option

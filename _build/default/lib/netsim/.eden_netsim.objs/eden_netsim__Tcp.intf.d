@@ -1,0 +1,1 @@
+lib/netsim/tcp.mli: Eden_base Event

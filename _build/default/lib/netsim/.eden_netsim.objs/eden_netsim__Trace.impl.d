@@ -1,0 +1,1 @@
+lib/netsim/trace.ml: Array Eden_base Format Fun List String

@@ -1,0 +1,107 @@
+module Time = Eden_base.Time
+
+type entry = { at : Time.t; seq : int; fire : unit -> unit }
+
+(* Binary min-heap ordered by (at, seq). *)
+type t = {
+  mutable heap : entry array;
+  mutable size : int;
+  mutable clock : Time.t;
+  mutable next_seq : int;
+}
+
+let dummy = { at = 0L; seq = 0; fire = (fun () -> ()) }
+let create () = { heap = Array.make 256 dummy; size = 0; clock = Time.zero; next_seq = 0 }
+let now t = t.clock
+
+let earlier a b = Time.( < ) a.at b.at || (Time.compare a.at b.at = 0 && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let schedule_at t at fire =
+  let at = Time.max at t.clock in
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- { at; seq = t.next_seq; fire };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let schedule_in t delta fire =
+  schedule_at t (Time.add t.clock (Time.max delta Time.zero)) fire
+
+let pending t = t.size
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    if t.size > 0 then sift_down t 0;
+    Some top
+  end
+
+let step t =
+  match pop t with
+  | None -> false
+  | Some e ->
+    t.clock <- e.at;
+    e.fire ();
+    true
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let continue () =
+    (match max_events with Some m -> !fired < m | None -> true)
+    && t.size > 0
+    && (match until with
+       | Some stop -> Time.( <= ) t.heap.(0).at stop
+       | None -> true)
+    &&
+    match pop t with
+    | None -> false
+    | Some e ->
+      t.clock <- e.at;
+      e.fire ();
+      incr fired;
+      true
+  in
+  while continue () do
+    ()
+  done;
+  (* When stopped by [until] (not by [max_events]), advance the clock to
+     the horizon so repeated bounded runs observe monotonic time. *)
+  match until with
+  | Some stop ->
+    if
+      (t.size = 0 || Time.( > ) t.heap.(0).at stop)
+      && Time.( < ) t.clock stop
+    then t.clock <- stop
+  | None -> ()

@@ -1,0 +1,96 @@
+type t = {
+  net : Net.t;
+  hosts : Host.t array;
+  leaves : Switch.t array;
+  spines : Switch.t array;
+}
+
+let star ?(host_rate_bps = 10e9) ?capacity_bytes ?ecn_threshold_bytes net ~hosts =
+  if hosts < 1 then invalid_arg "Fabric.star: need at least one host";
+  let sw = Net.add_switch net in
+  let host_arr =
+    Array.init hosts (fun _ ->
+        let h = Net.add_host net in
+        let port =
+          Net.connect_host net h sw ~rate_bps:host_rate_bps ?capacity_bytes
+            ?ecn_threshold_bytes ()
+        in
+        Switch.set_dst_route sw ~dst:(Host.id h) ~ports:[ port ];
+        h)
+  in
+  { net; hosts = host_arr; leaves = [| sw |]; spines = [||] }
+
+let leaf_spine ?(host_rate_bps = 10e9) ?(fabric_rate_bps = 40e9) ?capacity_bytes
+    ?ecn_threshold_bytes net ~leaves ~spines ~hosts_per_leaf =
+  if leaves < 1 || spines < 1 || hosts_per_leaf < 1 then
+    invalid_arg "Fabric.leaf_spine: all dimensions must be at least 1";
+  let leaf_arr = Array.init leaves (fun _ -> Net.add_switch net) in
+  let spine_arr = Array.init spines (fun _ -> Net.add_switch net) in
+  (* Leaf <-> spine mesh; remember port indices both ways. *)
+  let leaf_up = Array.make_matrix leaves spines 0 in
+  (* port on leaf l toward spine s *)
+  let spine_down = Array.make_matrix spines leaves 0 in
+  (* port on spine s toward leaf l *)
+  Array.iteri
+    (fun l leaf ->
+      Array.iteri
+        (fun s spine ->
+          let pl, ps =
+            Net.connect_switches net leaf spine ~rate_bps:fabric_rate_bps ?capacity_bytes
+              ?ecn_threshold_bytes ()
+          in
+          leaf_up.(l).(s) <- pl;
+          spine_down.(s).(l) <- ps)
+        spine_arr)
+    leaf_arr;
+  (* Hosts, leaf-major. *)
+  let hosts =
+    Array.init (leaves * hosts_per_leaf) (fun i ->
+        let l = i / hosts_per_leaf in
+        let h = Net.add_host net in
+        let port =
+          Net.connect_host net h leaf_arr.(l) ~rate_bps:host_rate_bps ?capacity_bytes
+            ?ecn_threshold_bytes ()
+        in
+        Switch.set_dst_route leaf_arr.(l) ~dst:(Host.id h) ~ports:[ port ];
+        h)
+  in
+  (* Routing: leaves send non-local traffic to all spines (ECMP); spines
+     know which leaf owns each host. *)
+  Array.iteri
+    (fun i h ->
+      let owner = i / hosts_per_leaf in
+      Array.iteri
+        (fun l leaf ->
+          if l <> owner then
+            Switch.set_dst_route leaf ~dst:(Host.id h)
+              ~ports:(Array.to_list leaf_up.(l)))
+        leaf_arr;
+      Array.iteri
+        (fun s spine ->
+          Switch.set_dst_route spine ~dst:(Host.id h) ~ports:[ spine_down.(s).(owner) ])
+        spine_arr)
+    hosts;
+  { net; hosts; leaves = leaf_arr; spines = spine_arr }
+
+let host_leaf t host =
+  let per_leaf =
+    if Array.length t.leaves = 0 then invalid_arg "Fabric.host_leaf: no leaves"
+    else Array.length t.hosts / Array.length t.leaves
+  in
+  let idx = host - Host.id t.hosts.(0) in
+  if idx < 0 || idx >= Array.length t.hosts then
+    invalid_arg "Fabric.host_leaf: not a fabric host";
+  t.leaves.(idx / per_leaf)
+
+let install_spine_labels t ~base_label =
+  Array.iteri
+    (fun l leaf ->
+      Array.iteri
+        (fun s _ ->
+          (* Port indices on the leaf toward spine s: spines were connected
+             before hosts, so leaf port s is the uplink to spine s. *)
+          Switch.set_label_route leaf ~label:(base_label + s) ~port:s;
+          ignore l)
+        t.spines)
+    t.leaves

@@ -1,0 +1,44 @@
+(** Datacenter fabric builders.
+
+    Constructs standard topologies on a {!Net} with routing pre-wired:
+    a single-switch star and a two-tier leaf–spine Clos (the shape of the
+    paper's deployment setting).  Leaf switches ECMP across every spine
+    for non-local destinations; label routes can be layered on top for
+    Eden's source routing. *)
+
+type t = {
+  net : Net.t;
+  hosts : Host.t array;
+  leaves : Switch.t array;
+  spines : Switch.t array;
+}
+
+val star :
+  ?host_rate_bps:float ->
+  ?capacity_bytes:int ->
+  ?ecn_threshold_bytes:int ->
+  Net.t ->
+  hosts:int ->
+  t
+(** [hosts] hosts on one switch (exposed as the single "leaf"). *)
+
+val leaf_spine :
+  ?host_rate_bps:float ->
+  ?fabric_rate_bps:float ->
+  ?capacity_bytes:int ->
+  ?ecn_threshold_bytes:int ->
+  Net.t ->
+  leaves:int ->
+  spines:int ->
+  hosts_per_leaf:int ->
+  t
+(** Hosts are numbered leaf-major: host [l * hosts_per_leaf + i] sits on
+    leaf [l].  Default rates: 10 Gbps host links, 40 Gbps fabric links. *)
+
+val host_leaf : t -> Eden_base.Addr.host -> Switch.t
+(** The leaf a host attaches to. *)
+
+val install_spine_labels : t -> base_label:int -> unit
+(** Program label routes so that label [base_label + s] pins a packet's
+    leaf->spine hop to spine [s] (the spine and destination leaf then
+    route by destination) — source-routed path control as in §3.5. *)

@@ -1,0 +1,158 @@
+module Addr = Eden_base.Addr
+module Packet = Eden_base.Packet
+module Time = Eden_base.Time
+module Rng = Eden_base.Rng
+module Enclave = Eden_enclave.Enclave
+module Token_bucket = Eden_enclave.Queueing.Token_bucket
+
+type rate_queue = { bucket : Token_bucket.t }
+
+type t = {
+  id : Addr.host;
+  ev : Event.t;
+  rng : Rng.t;
+  mutable tx_jitter : Time.t;
+  mutable nic_clock : Time.t;  (* last scheduled NIC-entry time: keeps egress FIFO *)
+  alloc_packet_id : unit -> int64;
+  mutable uplink : Link.t option;
+  mutable enclave : Enclave.t option;
+  mutable ingress_enclave : Enclave.t option;
+  mutable tcp_config : Tcp.config;
+  senders : Tcp.Sender.t Addr.Flow_table.t;
+  receivers : Tcp.Receiver.t Addr.Flow_table.t;
+  rate_queues : (int, rate_queue) Hashtbl.t;
+  mutable next_port : int;
+  mutable enclave_drops : int;
+}
+
+let create ?(seed = 0x05EAL) ev ~id ~alloc_packet_id =
+  {
+    id;
+    ev;
+    rng = Rng.create (Int64.add seed (Int64.of_int (id * 7919)));
+    (* Default 200 ns of uniform transmission jitter: real hosts have
+       scheduling noise, and without it a perfectly deterministic
+       simulator exhibits TCP phase effects (Floyd & Jacobson 1992) —
+       drop-tail buffers systematically lock out whichever sender has a
+       few nanoseconds more fixed latency. *)
+    tx_jitter = Time.ns 200;
+    nic_clock = Time.zero;
+    alloc_packet_id;
+    uplink = None;
+    enclave = None;
+    ingress_enclave = None;
+    tcp_config = Tcp.default_config;
+    senders = Addr.Flow_table.create 32;
+    receivers = Addr.Flow_table.create 32;
+    rate_queues = Hashtbl.create 4;
+    next_port = 10_000;
+    enclave_drops = 0;
+  }
+
+let id t = t.id
+let set_uplink t link = t.uplink <- Some link
+let uplink t = t.uplink
+let set_enclave t e = t.enclave <- Some e
+let enclave t = t.enclave
+let set_ingress_enclave t e = t.ingress_enclave <- Some e
+let ingress_enclave t = t.ingress_enclave
+let set_tcp_config t c = t.tcp_config <- c
+let tcp_config t = t.tcp_config
+
+let define_rate_queue t ~queue ~rate_bps ?burst_bytes () =
+  let burst_bytes = Option.value ~default:(64 * 1024) burst_bytes in
+  Hashtbl.replace t.rate_queues queue { bucket = Token_bucket.create ~rate_bps ~burst_bytes }
+
+let nic_send t pkt =
+  match t.uplink with
+  | Some link -> ignore (Link.send link pkt)
+  | None -> ()
+
+let set_tx_jitter t j = t.tx_jitter <- j
+
+let jitter t =
+  let bound = Int64.to_int (Time.to_ns t.tx_jitter) in
+  if bound <= 0 then Time.zero else Time.ns (Rng.int t.rng (bound + 1))
+
+(* Hand the packet to the NIC after [delay], without ever reordering this
+   host's own submissions: entry times are forced monotonic. *)
+let nic_send_after t delay pkt =
+  let at = Time.add (Event.now t.ev) delay in
+  let at = Time.max at t.nic_clock in
+  t.nic_clock <- at;
+  if Time.( > ) at (Event.now t.ev) then
+    Event.schedule_at t.ev at (fun () -> nic_send t pkt)
+  else nic_send t pkt
+
+let transmit t pkt =
+  match t.enclave with
+  | None -> nic_send_after t (jitter t) pkt
+  | Some enclave -> (
+    let decision = Enclave.process enclave ~now:(Event.now t.ev) pkt in
+    (* The enclave's per-packet CPU cost becomes data-path latency, so
+       interpreted and native action functions differ on the wire the way
+       they do on the paper's testbed.  Jitter applies to every egress
+       packet, enclave or not. *)
+    let cpu = Time.add (Time.of_float_ns (Enclave.last_process_cost_ns enclave)) (jitter t) in
+    match decision with
+    | Enclave.Dropped _ -> t.enclave_drops <- t.enclave_drops + 1
+    | Enclave.Forward { queue = None; charge = _ } -> nic_send_after t cpu pkt
+    | Enclave.Forward { queue = Some q; charge } -> (
+      match Hashtbl.find_opt t.rate_queues q with
+      | None ->
+        (* Steering to an undefined queue falls back to the NIC. *)
+        nic_send_after t cpu pkt
+      | Some rq ->
+        let departure =
+          Token_bucket.consume rq.bucket ~now:(Event.now t.ev) ~cost_bytes:charge
+        in
+        (* Rate-limited queues have their own pacing; keep the CPU cost
+           but let the token bucket set the departure time. *)
+        Event.schedule_at t.ev (Time.add departure cpu) (fun () -> nic_send t pkt)))
+
+let deliver t (pkt : Packet.t) =
+  match pkt.Packet.kind with
+  | Packet.Data -> (
+    match Addr.Flow_table.find_opt t.receivers pkt.Packet.flow with
+    | Some rx -> Tcp.Receiver.handle_data rx pkt
+    | None -> ())
+  | Packet.Ack -> (
+    (* The ACK's flow is the reverse of the data flow it acknowledges. *)
+    match Addr.Flow_table.find_opt t.senders (Addr.reverse pkt.Packet.flow) with
+    | Some tx -> Tcp.Sender.handle_ack tx pkt
+    | None -> ())
+  | Packet.Syn | Packet.Syn_ack | Packet.Fin -> ()
+
+(* The receive path: an ingress enclave (when present) filters and
+   classifies arriving packets before the transport sees them — the
+   paper's enclave observes packets being sent *and* received. *)
+let receive t (pkt : Packet.t) =
+  match t.ingress_enclave with
+  | None -> deliver t pkt
+  | Some enclave -> (
+    match Enclave.process enclave ~now:(Event.now t.ev) pkt with
+    | Enclave.Dropped _ -> t.enclave_drops <- t.enclave_drops + 1
+    | Enclave.Forward _ ->
+      let cpu = Time.of_float_ns (Enclave.last_process_cost_ns enclave) in
+      if Time.( > ) cpu Time.zero then
+        Event.schedule_in t.ev cpu (fun () -> deliver t pkt)
+      else deliver t pkt)
+
+let register_sender t sender =
+  Addr.Flow_table.replace t.senders (Tcp.Sender.flow sender) sender
+
+let register_receiver t ~flow receiver = Addr.Flow_table.replace t.receivers flow receiver
+
+let unregister_flow t flow =
+  Addr.Flow_table.remove t.senders flow;
+  Addr.Flow_table.remove t.receivers flow;
+  match t.enclave with
+  | Some e -> Enclave.note_flow_closed e flow
+  | None -> ()
+
+let fresh_port t =
+  let p = t.next_port in
+  t.next_port <- p + 1;
+  p
+
+let packets_dropped_by_enclave t = t.enclave_drops

@@ -1,0 +1,63 @@
+(** End hosts.
+
+    A host runs TCP senders/receivers and, when one is attached, an Eden
+    {!Eden_enclave.Enclave} on its send path.  The egress pipeline is:
+
+    transport → enclave ([process]) → optional rate-limited queue
+    (token bucket, for Pulsar-style functions) → NIC priority buffer
+    (the uplink {!Link}).
+
+    Dropped-by-action packets never reach the NIC; a host with no enclave
+    is the "vanilla stack" baseline. *)
+
+type t
+
+val create : ?seed:int64 -> Event.t -> id:Eden_base.Addr.host -> alloc_packet_id:(unit -> int64) -> t
+
+val set_tx_jitter : t -> Eden_base.Time.t -> unit
+(** Uniform random delay added to every transmitted packet (default
+    200 ns).  Real hosts have scheduling noise; without it the perfectly
+    deterministic simulator shows TCP phase effects — drop-tail buffers
+    systematically lock out whichever sender has slightly more fixed
+    latency (Floyd & Jacobson 1992).  Set to zero for bit-exact packet
+    timing in unit tests. *)
+
+val id : t -> Eden_base.Addr.host
+val set_uplink : t -> Link.t -> unit
+val uplink : t -> Link.t option
+
+val set_enclave : t -> Eden_enclave.Enclave.t -> unit
+val enclave : t -> Eden_enclave.Enclave.t option
+
+val set_ingress_enclave : t -> Eden_enclave.Enclave.t -> unit
+(** An enclave on the {e receive} path: arriving packets are classified
+    and filtered before the transport sees them (stateful firewalling,
+    ingress policing).  Independent of the egress enclave. *)
+
+val ingress_enclave : t -> Eden_enclave.Enclave.t option
+
+val set_tcp_config : t -> Tcp.config -> unit
+val tcp_config : t -> Tcp.config
+
+val define_rate_queue : t -> queue:int -> rate_bps:float -> ?burst_bytes:int -> unit -> unit
+(** Create or reconfigure the token bucket behind a queue id used by
+    action functions' [Queue] output. *)
+
+val transmit : t -> Eden_base.Packet.t -> unit
+(** Entry point for transports: run the enclave, honour its decision,
+    hand the packet to the NIC. *)
+
+val receive : t -> Eden_base.Packet.t -> unit
+(** Entry point for the network: dispatch to the flow's sender (ACKs) or
+    receiver (data). *)
+
+val register_sender : t -> Tcp.Sender.t -> unit
+val register_receiver : t -> flow:Eden_base.Addr.five_tuple -> Tcp.Receiver.t -> unit
+val unregister_flow : t -> Eden_base.Addr.five_tuple -> unit
+(** Remove both endpoints' interest in the flow and tell the enclave the
+    flow closed. *)
+
+val fresh_port : t -> int
+(** Ephemeral source ports, unique per host. *)
+
+val packets_dropped_by_enclave : t -> int

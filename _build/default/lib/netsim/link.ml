@@ -1,0 +1,98 @@
+module Time = Eden_base.Time
+module Packet = Eden_base.Packet
+module Priority = Eden_enclave.Queueing.Priority
+
+type stats = {
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable dropped_packets : int;
+}
+
+type t = {
+  ev : Event.t;
+  rate_bps : float;
+  delay : Time.t;
+  name : string;
+  ecn_threshold_bytes : int option;
+  buffer : Packet.t Priority.t;
+  mutable deliver : (Packet.t -> unit) option;
+  mutable busy : bool;
+  mutable tracer : (Trace.entry -> unit) option;
+  stats : stats;
+}
+
+let create ?(capacity_bytes = 512 * 1024) ?(name = "link") ?ecn_threshold_bytes ev
+    ~rate_bps ~delay () =
+  if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
+  {
+    ev;
+    rate_bps;
+    delay;
+    name;
+    ecn_threshold_bytes;
+    buffer = Priority.create ~capacity_bytes ();
+    deliver = None;
+    busy = false;
+    tracer = None;
+    stats = { tx_packets = 0; tx_bytes = 0; dropped_packets = 0 };
+  }
+
+let attach t deliver = t.deliver <- Some deliver
+let set_tracer t tracer = t.tracer <- Some tracer
+
+let trace t kind (pkt : Packet.t) =
+  match t.tracer with
+  | None -> ()
+  | Some f ->
+    f
+      {
+        Trace.at = Event.now t.ev;
+        link = t.name;
+        kind;
+        packet_id = pkt.Packet.id;
+        flow = pkt.Packet.flow;
+        packet_kind = pkt.Packet.kind;
+        size = Packet.wire_size pkt;
+        priority = pkt.Packet.priority;
+      }
+
+let tx_time t bytes = Time.of_float_ns (float_of_int bytes *. 8.0 /. t.rate_bps *. 1e9)
+
+let rec start_tx t =
+  match Priority.pop t.buffer with
+  | None -> t.busy <- false
+  | Some pkt ->
+    t.busy <- true;
+    let bytes = Packet.wire_size pkt in
+    let tx = tx_time t bytes in
+    t.stats.tx_packets <- t.stats.tx_packets + 1;
+    t.stats.tx_bytes <- t.stats.tx_bytes + bytes;
+    (* Delivery happens a propagation delay after serialization ends. *)
+    Event.schedule_in t.ev (Time.add tx t.delay) (fun () ->
+        trace t Trace.Delivered pkt;
+        match t.deliver with
+        | Some deliver -> deliver pkt
+        | None -> ());
+    Event.schedule_in t.ev tx (fun () -> start_tx t)
+
+let send t pkt =
+  (* DCTCP-style marking: set the congestion bit when the instantaneous
+     queue exceeds the threshold K. *)
+  (match t.ecn_threshold_bytes with
+  | Some k when Priority.bytes t.buffer > k -> pkt.Packet.ecn <- true
+  | Some _ | None -> ());
+  let ok = Priority.push t.buffer ~prio:pkt.Packet.priority ~size:(Packet.wire_size pkt) pkt in
+  if not ok then begin
+    t.stats.dropped_packets <- t.stats.dropped_packets + 1;
+    trace t Trace.Dropped pkt
+  end
+  else begin
+    trace t Trace.Enqueued pkt;
+    if not t.busy then start_tx t
+  end;
+  ok
+
+let rate_bps t = t.rate_bps
+let stats t = t.stats
+let queue_bytes t = Priority.bytes t.buffer
+let name t = t.name

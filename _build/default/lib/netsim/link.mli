@@ -1,0 +1,44 @@
+(** Unidirectional links with strict-priority egress buffering.
+
+    A link models one output port of a device: a priority buffer
+    (802.1q-style, 8 levels, drop-tail on a shared byte budget), a
+    serializer running at the link rate, and a propagation delay to the
+    attached peer.  Transmission completions and deliveries are scheduled
+    on the shared {!Event} calendar. *)
+
+type t
+
+type stats = {
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable dropped_packets : int;
+}
+
+val create :
+  ?capacity_bytes:int ->
+  ?name:string ->
+  ?ecn_threshold_bytes:int ->
+  Event.t ->
+  rate_bps:float ->
+  delay:Eden_base.Time.t ->
+  unit ->
+  t
+(** Default buffer capacity: 512 KB, a typical shallow datacenter port.
+    [ecn_threshold_bytes] enables DCTCP-style marking: packets enqueued
+    while the buffer holds more than the threshold get their ECN bit
+    set. *)
+
+val attach : t -> (Eden_base.Packet.t -> unit) -> unit
+(** Set the receiver at the far end.  Must be called before traffic. *)
+
+val set_tracer : t -> (Trace.entry -> unit) -> unit
+(** Report every enqueue / delivery / drop on this link (see {!Trace}). *)
+
+val send : t -> Eden_base.Packet.t -> bool
+(** Enqueue for transmission at the packet's priority; [false] when the
+    buffer overflowed and the packet was dropped. *)
+
+val rate_bps : t -> float
+val stats : t -> stats
+val queue_bytes : t -> int
+val name : t -> string

@@ -1,0 +1,170 @@
+module Addr = Eden_base.Addr
+module Time = Eden_base.Time
+module Rng = Eden_base.Rng
+module Metadata = Eden_base.Metadata
+
+type t = {
+  ev : Event.t;
+  rng : Rng.t;
+  mutable hosts : Host.t list;  (* reversed *)
+  mutable switches : Switch.t list;  (* reversed *)
+  mutable next_host : int;
+  mutable next_switch : int;
+  mutable next_packet_id : int64;
+  mutable completions : Tcp.Sender.flow_completion list;  (* reversed *)
+  mutable links : Link.t list;  (* reversed *)
+  mutable tracer : Trace.t option;
+}
+
+let create ?(seed = 42L) () =
+  {
+    ev = Event.create ();
+    rng = Rng.create seed;
+    hosts = [];
+    switches = [];
+    next_host = 0;
+    next_switch = 0;
+    next_packet_id = 0L;
+    completions = [];
+    links = [];
+    tracer = None;
+  }
+
+let event t = t.ev
+let now t = Event.now t.ev
+let rng t = t.rng
+
+let alloc_packet_id t =
+  let id = t.next_packet_id in
+  t.next_packet_id <- Int64.add id 1L;
+  id
+
+let add_host t =
+  let id = t.next_host in
+  t.next_host <- id + 1;
+  let h =
+    Host.create ~seed:(Rng.int64 t.rng) t.ev ~id
+      ~alloc_packet_id:(fun () -> alloc_packet_id t)
+  in
+  t.hosts <- h :: t.hosts;
+  h
+
+let add_switch t =
+  let id = t.next_switch in
+  t.next_switch <- id + 1;
+  let s = Switch.create t.ev ~id in
+  t.switches <- s :: t.switches;
+  s
+
+let host t id =
+  match List.find_opt (fun h -> Host.id h = id) t.hosts with
+  | Some h -> h
+  | None -> invalid_arg (Printf.sprintf "Net.host: no host %d" id)
+
+let hosts t = List.rev t.hosts
+let switches t = List.rev t.switches
+
+let register_link t link =
+  t.links <- link :: t.links;
+  match t.tracer with
+  | Some tr -> Link.set_tracer link (Trace.record tr)
+  | None -> ()
+
+let enable_tracing ?capacity t =
+  match t.tracer with
+  | Some tr -> tr
+  | None ->
+    let tr = Trace.create ?capacity () in
+    t.tracer <- Some tr;
+    List.iter (fun l -> Link.set_tracer l (Trace.record tr)) t.links;
+    tr
+
+let trace t = t.tracer
+
+let default_delay = Time.us 1
+
+let connect_host t h s ~rate_bps ?(delay = default_delay) ?capacity_bytes
+    ?ecn_threshold_bytes () =
+  let up =
+    Link.create ?capacity_bytes ?ecn_threshold_bytes t.ev ~rate_bps ~delay
+      ~name:(Printf.sprintf "h%d->s%d" (Host.id h) (Switch.id s))
+      ()
+  in
+  let down =
+    Link.create ?capacity_bytes ?ecn_threshold_bytes t.ev ~rate_bps ~delay
+      ~name:(Printf.sprintf "s%d->h%d" (Switch.id s) (Host.id h))
+      ()
+  in
+  Link.attach up (fun pkt -> Switch.receive s pkt);
+  Link.attach down (fun pkt -> Host.receive h pkt);
+  register_link t up;
+  register_link t down;
+  Host.set_uplink h up;
+  Switch.add_port s down
+
+let connect_switches t a b ~rate_bps ?(delay = default_delay) ?capacity_bytes
+    ?ecn_threshold_bytes () =
+  let ab =
+    Link.create ?capacity_bytes ?ecn_threshold_bytes t.ev ~rate_bps ~delay
+      ~name:(Printf.sprintf "s%d->s%d" (Switch.id a) (Switch.id b))
+      ()
+  in
+  let ba =
+    Link.create ?capacity_bytes ?ecn_threshold_bytes t.ev ~rate_bps ~delay
+      ~name:(Printf.sprintf "s%d->s%d" (Switch.id b) (Switch.id a))
+      ()
+  in
+  Link.attach ab (fun pkt -> Switch.receive b pkt);
+  Link.attach ba (fun pkt -> Switch.receive a pkt);
+  register_link t ab;
+  register_link t ba;
+  let pa = Switch.add_port a ab in
+  let pb = Switch.add_port b ba in
+  (pa, pb)
+
+type flow = {
+  f_sender : Tcp.Sender.t;
+  f_receiver : Tcp.Receiver.t;
+  f_tuple : Addr.five_tuple;
+}
+
+let open_flow t ~src ~dst ?(dst_port = 80) ?config ?on_complete ?on_message_received () =
+  let src_host = host t src in
+  let dst_host = host t dst in
+  let tuple =
+    Addr.five_tuple
+      ~src:(Addr.endpoint src (Host.fresh_port src_host))
+      ~dst:(Addr.endpoint dst dst_port) ~proto:Addr.Tcp
+  in
+  let config = Option.value ~default:(Host.tcp_config src_host) config in
+  let on_flow_complete fc =
+    t.completions <- fc :: t.completions;
+    Host.unregister_flow src_host tuple;
+    Host.unregister_flow dst_host tuple;
+    match on_complete with Some f -> f fc | None -> ()
+  in
+  let sender =
+    Tcp.Sender.create ~config ~on_flow_complete ~ev:t.ev ~flow:tuple
+      ~alloc_packet_id:(fun () -> alloc_packet_id t)
+      ~transmit:(fun pkt -> Host.transmit src_host pkt)
+      ()
+  in
+  let receiver =
+    Tcp.Receiver.create ~config ?on_message:on_message_received ~ev:t.ev ~flow:tuple
+      ~alloc_packet_id:(fun () -> alloc_packet_id t)
+      ~transmit:(fun pkt -> Host.transmit dst_host pkt)
+      ()
+  in
+  Host.register_sender src_host sender;
+  Host.register_receiver dst_host ~flow:tuple receiver;
+  { f_sender = sender; f_receiver = receiver; f_tuple = tuple }
+
+let start_flow t ~src ~dst ?dst_port ?config ?metadata ?on_complete ~size () =
+  let flow = open_flow t ~src ~dst ?dst_port ?config ?on_complete () in
+  let metadata = Option.value ~default:Metadata.empty metadata in
+  Tcp.Sender.send_message flow.f_sender ~metadata size;
+  Tcp.Sender.close flow.f_sender;
+  flow
+
+let run ?until t = Event.run ?until t.ev
+let completions t = List.rev t.completions

@@ -1,0 +1,97 @@
+(** Topology builder and simulation façade.
+
+    Owns the event calendar, the packet-id allocator, hosts and switches,
+    and flow bookkeeping (completions, goodput).  Experiments build a
+    topology, start flows (optionally with per-message metadata from a
+    stage), run the calendar, and read the metrics back. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+val event : t -> Event.t
+val now : t -> Eden_base.Time.t
+val rng : t -> Eden_base.Rng.t
+
+val add_host : t -> Host.t
+(** Hosts receive consecutive ids starting at 0. *)
+
+val add_switch : t -> Switch.t
+val host : t -> Eden_base.Addr.host -> Host.t
+val hosts : t -> Host.t list
+val switches : t -> Switch.t list
+
+val connect_host :
+  t ->
+  Host.t ->
+  Switch.t ->
+  rate_bps:float ->
+  ?delay:Eden_base.Time.t ->
+  ?capacity_bytes:int ->
+  ?ecn_threshold_bytes:int ->
+  unit ->
+  int
+(** Bidirectional host–switch attachment; the host's uplink is set and
+    the switch gains a port toward the host whose index is returned.
+    Default delay 1 µs. *)
+
+val connect_switches :
+  t ->
+  Switch.t ->
+  Switch.t ->
+  rate_bps:float ->
+  ?delay:Eden_base.Time.t ->
+  ?capacity_bytes:int ->
+  ?ecn_threshold_bytes:int ->
+  unit ->
+  int * int
+(** Bidirectional switch–switch trunk; returns (port on a toward b,
+    port on b toward a). *)
+
+(** {2 Flows} *)
+
+type flow = {
+  f_sender : Tcp.Sender.t;
+  f_receiver : Tcp.Receiver.t;
+  f_tuple : Eden_base.Addr.five_tuple;
+}
+
+val open_flow :
+  t ->
+  src:Eden_base.Addr.host ->
+  dst:Eden_base.Addr.host ->
+  ?dst_port:int ->
+  ?config:Tcp.config ->
+  ?on_complete:(Tcp.Sender.flow_completion -> unit) ->
+  ?on_message_received:(Eden_base.Metadata.t -> Eden_base.Time.t -> unit) ->
+  unit ->
+  flow
+(** Wire a sender on [src] to a receiver on [dst].  Completions are also
+    recorded in {!completions}; on completion the flow is unregistered on
+    both hosts (closing enclave flow state). *)
+
+val start_flow :
+  t ->
+  src:Eden_base.Addr.host ->
+  dst:Eden_base.Addr.host ->
+  ?dst_port:int ->
+  ?config:Tcp.config ->
+  ?metadata:Eden_base.Metadata.t ->
+  ?on_complete:(Tcp.Sender.flow_completion -> unit) ->
+  size:int ->
+  unit ->
+  flow
+(** [open_flow] + one message of [size] bytes + close: the classic
+    fixed-size flow whose FCT the paper's Fig. 9 measures. *)
+
+val enable_tracing : ?capacity:int -> t -> Trace.t
+(** Attach a {!Trace} recorder to every link, present and future;
+    idempotent (returns the existing recorder on repeat calls). *)
+
+val trace : t -> Trace.t option
+
+val run : ?until:Eden_base.Time.t -> t -> unit
+
+val completions : t -> Tcp.Sender.flow_completion list
+(** In completion order. *)
+
+val alloc_packet_id : t -> int64

@@ -1,0 +1,29 @@
+(** Output-queued switches.
+
+    Forwarding is label-first: a packet carrying a source-routing label
+    (the 802.1q VLAN tag Eden uses for path control, §3.5) follows the
+    switch's label table; everything else follows destination routes,
+    with ECMP hashing over the five-tuple when a destination has several
+    equal ports.  Priority queueing happens in the output {!Link}s. *)
+
+type t
+
+val create : ?seed:int64 -> Event.t -> id:int -> t
+val id : t -> int
+
+val add_port : t -> Link.t -> int
+(** Register an output port; returns its index. *)
+
+val port : t -> int -> Link.t
+
+val set_dst_route : t -> dst:Eden_base.Addr.host -> ports:int list -> unit
+(** ECMP set for a destination host. *)
+
+val set_label_route : t -> label:int -> port:int -> unit
+(** Label-forwarding entry (installed by the controller, e.g. via LDP or
+    SPAIN-style spanning trees in the paper). *)
+
+val receive : t -> Eden_base.Packet.t -> unit
+
+val rx_packets : t -> int
+val no_route_drops : t -> int

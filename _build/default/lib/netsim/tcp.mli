@@ -1,0 +1,104 @@
+(** A byte-stream transport with NewReno-style congestion control.
+
+    Deliberately "vanilla TCP" (the paper's experiments all run unmodified
+    TCP over Eden): slow start, AIMD congestion avoidance, triple-dupack
+    fast retransmit with NewReno partial-ACK recovery, and RTO with
+    exponential backoff.  Because dup-ACKs trigger fast retransmit,
+    in-network packet reordering degrades throughput — exactly the effect
+    that keeps per-packet WCMP below the topology min-cut in the paper's
+    Fig. 10.
+
+    The application writes {e messages} into the stream; each message
+    carries {!Eden_base.Metadata.t} that is attached to every data packet
+    covering its byte range (the paper's extended socket interface,
+    §4.2). *)
+
+type config = {
+  mss : int;  (** Payload bytes per segment. *)
+  init_cwnd_segments : int;
+  min_rto : Eden_base.Time.t;
+  max_rto : Eden_base.Time.t;
+  max_cwnd_bytes : int option;
+  ack_priority : int;  (** PCP for pure ACKs (7 keeps ACK clocking alive). *)
+  dupack_threshold : int;
+      (** Dup-ACKs before fast retransmit (3 = classic NewReno).  Raising
+          it makes the sender reorder-tolerant — the TCP modification the
+          paper suggests to push per-packet WCMP closer to the min-cut. *)
+  ecn : bool;
+      (** DCTCP-style congestion control: react to ECN-marked ACKs by
+          scaling the window with the smoothed marked fraction (requires
+          marking links, {!Link.create}'s [ecn_threshold_bytes]).  The
+          datacenter transport of the paper's setting. *)
+}
+
+val default_config : config
+
+(** {2 Sender} *)
+
+module Sender : sig
+  type t
+
+  type flow_completion = {
+    fc_flow : Eden_base.Addr.five_tuple;
+    fc_bytes : int;
+    fc_started : Eden_base.Time.t;
+    fc_completed : Eden_base.Time.t;
+    fc_retransmissions : int;
+  }
+
+  val create :
+    ?config:config ->
+    ?on_flow_complete:(flow_completion -> unit) ->
+    ev:Event.t ->
+    flow:Eden_base.Addr.five_tuple ->
+    alloc_packet_id:(unit -> int64) ->
+    transmit:(Eden_base.Packet.t -> unit) ->
+    unit ->
+    t
+
+  val send_message :
+    t ->
+    ?metadata:Eden_base.Metadata.t ->
+    ?on_complete:(Eden_base.Time.t -> unit) ->
+    int ->
+    unit
+  (** [send_message t n] appends [n] bytes to the stream.  [on_complete]
+      fires when the message's last byte is cumulatively acknowledged. *)
+
+  val close : t -> unit
+  (** No more messages; the flow completes when everything is ACKed. *)
+
+  val handle_ack : t -> Eden_base.Packet.t -> unit
+  (** Host dispatch: an ACK for this flow arrived. *)
+
+  val flow : t -> Eden_base.Addr.five_tuple
+  val bytes_acked : t -> int
+  val bytes_queued : t -> int
+  val cwnd_bytes : t -> int
+  val retransmissions : t -> int
+  val is_complete : t -> bool
+  val srtt : t -> Eden_base.Time.t option
+end
+
+(** {2 Receiver} *)
+
+module Receiver : sig
+  type t
+
+  val create :
+    ?config:config ->
+    ?on_message:(Eden_base.Metadata.t -> Eden_base.Time.t -> unit) ->
+    ev:Event.t ->
+    flow:Eden_base.Addr.five_tuple ->
+    alloc_packet_id:(unit -> int64) ->
+    transmit:(Eden_base.Packet.t -> unit) ->
+    unit ->
+    t
+  (** [flow] is the {e sender's} five-tuple (ACKs go out reversed).
+      [on_message] fires when all bytes of a metadata-tagged message have
+      arrived in-order. *)
+
+  val handle_data : t -> Eden_base.Packet.t -> unit
+  val bytes_delivered : t -> int
+  (** Cumulative in-order bytes — the goodput counter. *)
+end

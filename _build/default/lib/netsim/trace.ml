@@ -1,0 +1,69 @@
+module Time = Eden_base.Time
+module Addr = Eden_base.Addr
+module Packet = Eden_base.Packet
+
+type kind = Enqueued | Delivered | Dropped
+
+let kind_to_string = function
+  | Enqueued -> "enq"
+  | Delivered -> "rx"
+  | Dropped -> "drop"
+
+type entry = {
+  at : Time.t;
+  link : string;
+  kind : kind;
+  packet_id : int64;
+  flow : Addr.five_tuple;
+  packet_kind : Packet.kind;
+  size : int;
+  priority : int;
+}
+
+type t = {
+  buf : entry option array;
+  mutable next : int;  (* next write position *)
+  mutable total : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { buf = Array.make capacity None; next = 0; total = 0 }
+
+let record t e =
+  t.buf.(t.next) <- Some e;
+  t.next <- (t.next + 1) mod Array.length t.buf;
+  t.total <- t.total + 1
+
+let entries t =
+  let n = Array.length t.buf in
+  let start = if t.total >= n then t.next else 0 in
+  let len = min t.total n in
+  List.init len (fun i -> t.buf.((start + i) mod n))
+  |> List.filter_map Fun.id
+
+let count t = t.total
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.next <- 0;
+  t.total <- 0
+
+let filter ?link ?kind ?flow t =
+  List.filter
+    (fun e ->
+      (match link with Some l -> String.equal l e.link | None -> true)
+      && (match kind with Some k -> k = e.kind | None -> true)
+      && match flow with Some f -> Addr.equal_five_tuple f e.flow | None -> true)
+    (entries t)
+
+let pp_entry fmt e =
+  Format.fprintf fmt "%a %-12s %-4s #%Ld %a %s %dB prio%d" Time.pp e.at e.link
+    (kind_to_string e.kind) e.packet_id Addr.pp_five_tuple e.flow
+    (Packet.kind_to_string e.packet_kind)
+    e.size e.priority
+
+let dump ?limit fmt t =
+  let es = entries t in
+  let es = match limit with Some n -> List.filteri (fun i _ -> i < n) es | None -> es in
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) es

@@ -1,0 +1,46 @@
+(** Packet-level event tracing.
+
+    A bounded in-memory recorder for link events — transmissions,
+    deliveries, buffer drops — in time order; the simulator's answer to
+    tcpdump.  Attach one recorder to every link of a {!Net} with
+    {!Net.enable_tracing}, or to individual links via {!Link.set_tracer}. *)
+
+type kind =
+  | Enqueued  (** accepted into a link's egress buffer *)
+  | Delivered  (** handed to the receiver at the far end *)
+  | Dropped  (** drop-tail overflow *)
+
+val kind_to_string : kind -> string
+
+type entry = {
+  at : Eden_base.Time.t;
+  link : string;
+  kind : kind;
+  packet_id : int64;
+  flow : Eden_base.Addr.five_tuple;
+  packet_kind : Eden_base.Packet.kind;
+  size : int;
+  priority : int;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer; default capacity 65536 entries (oldest evicted first). *)
+
+val record : t -> entry -> unit
+val entries : t -> entry list
+(** Oldest first. *)
+
+val count : t -> int
+(** Total entries ever recorded (including evicted ones). *)
+
+val clear : t -> unit
+
+val filter :
+  ?link:string -> ?kind:kind -> ?flow:Eden_base.Addr.five_tuple -> t -> entry list
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val dump : ?limit:int -> Format.formatter -> t -> unit
+(** Human-readable listing, oldest first. *)

@@ -1,0 +1,1 @@
+lib/stage/builtin.ml: Char Classifier Eden_base Stage String

@@ -1,0 +1,1 @@
+lib/stage/builtin.mli: Classifier Eden_base Stage

@@ -1,0 +1,1 @@
+lib/stage/classifier.ml: Eden_base Format Int64 List Map Printf String

@@ -1,0 +1,1 @@
+lib/stage/classifier.mli: Eden_base Format

@@ -1,0 +1,1 @@
+lib/stage/ruleset.ml: Classifier Format List String

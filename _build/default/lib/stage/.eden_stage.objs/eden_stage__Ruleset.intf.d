@@ -1,0 +1,1 @@
+lib/stage/ruleset.mli: Classifier Format

@@ -1,0 +1,1 @@
+lib/stage/stage.ml: Classifier Eden_base Format Int64 List Printf Ruleset String

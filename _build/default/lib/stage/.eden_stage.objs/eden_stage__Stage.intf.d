@@ -1,0 +1,1 @@
+lib/stage/stage.mli: Classifier Eden_base Format Ruleset

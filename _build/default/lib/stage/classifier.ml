@@ -1,0 +1,75 @@
+module Metadata = Eden_base.Metadata
+
+module Descriptor = struct
+  module Smap = Map.Make (String)
+
+  type t = Metadata.value Smap.t
+
+  let empty = Smap.empty
+  let add k v t = Smap.add k v t
+  let of_list l = List.fold_left (fun acc (k, v) -> add k v acc) empty l
+  let find k t = Smap.find_opt k t
+  let fields t = Smap.bindings t
+
+  let pp fmt t =
+    let pp_field fmt (k, v) = Format.fprintf fmt "%s=%a" k Metadata.pp_value v in
+    Format.fprintf fmt "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";@ ") pp_field)
+      (fields t)
+end
+
+type pattern =
+  | Any
+  | Present
+  | Eq of Metadata.value
+  | Ne of Metadata.value
+  | In_set of Metadata.value list
+  | Range of int64 * int64
+  | Prefix of string
+
+let pattern_to_string = function
+  | Any -> "*"
+  | Present -> "present"
+  | Eq v -> Metadata.value_to_string v
+  | Ne v -> "!" ^ Metadata.value_to_string v
+  | In_set vs -> "{" ^ String.concat "," (List.map Metadata.value_to_string vs) ^ "}"
+  | Range (lo, hi) -> Printf.sprintf "[%Ld..%Ld]" lo hi
+  | Prefix p -> p ^ "*"
+
+type t = (string * pattern) list
+
+let eq_str s = Eq (Metadata.str s)
+let eq_int i = Eq (Metadata.int i)
+
+let pattern_matches pattern value =
+  match (pattern, value) with
+  | Any, _ -> true
+  | Present, Some _ -> true
+  | Present, None -> false
+  | _, None -> false
+  | Eq expected, Some v -> Metadata.equal_value expected v
+  | Ne expected, Some v -> not (Metadata.equal_value expected v)
+  | In_set vs, Some v -> List.exists (Metadata.equal_value v) vs
+  | Range (lo, hi), Some (Metadata.Int i) ->
+    Int64.compare lo i <= 0 && Int64.compare i hi <= 0
+  | Range _, Some (Metadata.Str _) -> false
+  | Prefix p, Some (Metadata.Str s) ->
+    String.length s >= String.length p && String.equal (String.sub s 0 (String.length p)) p
+  | Prefix _, Some (Metadata.Int _) -> false
+
+let matches t descriptor =
+  List.for_all (fun (field, pattern) -> pattern_matches pattern (Descriptor.find field descriptor)) t
+
+let to_string t =
+  "<"
+  ^ String.concat ", "
+      (List.map (fun (f, p) -> Printf.sprintf "%s:%s" f (pattern_to_string p)) t)
+  ^ ">"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let fields_referenced t =
+  List.fold_left
+    (fun acc (f, _) -> if List.mem f acc then acc else f :: acc)
+    [] t
+  |> List.rev

@@ -1,0 +1,43 @@
+(** Classifier expressions (paper §3.3, Fig. 6).
+
+    A stage describes each application message with a {e descriptor} — the
+    application-specific fields it knows about the message ([msg_type],
+    [key], [url], [msg_size], [tenant], the five-tuple, …).  A classifier
+    is a conjunction of per-field patterns over such descriptors; the
+    paper's rule [<GET, "a">] becomes
+    [[ ("msg_type", eq_str "GET"); ("key", eq_str "a") ]]. *)
+
+module Descriptor : sig
+  type t
+
+  val empty : t
+  val of_list : (string * Eden_base.Metadata.value) list -> t
+  val add : string -> Eden_base.Metadata.value -> t -> t
+  val find : string -> t -> Eden_base.Metadata.value option
+  val fields : t -> (string * Eden_base.Metadata.value) list
+  val pp : Format.formatter -> t -> unit
+end
+
+type pattern =
+  | Any  (** ["-"] / ["*"]: field may even be absent *)
+  | Present  (** field must exist, any value *)
+  | Eq of Eden_base.Metadata.value
+  | Ne of Eden_base.Metadata.value
+  | In_set of Eden_base.Metadata.value list
+  | Range of int64 * int64  (** integer field within [lo, hi] inclusive *)
+  | Prefix of string  (** string field starting with the given prefix *)
+
+val pattern_to_string : pattern -> string
+
+type t = (string * pattern) list
+(** Conjunction over fields; [[]] matches everything. *)
+
+val eq_str : string -> pattern
+val eq_int : int -> pattern
+
+val matches : t -> Descriptor.t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val fields_referenced : t -> string list
+(** Field names the classifier inspects, deduplicated, in order. *)

@@ -1,0 +1,38 @@
+type rule = {
+  rule_id : int;
+  classifier : Classifier.t;
+  class_name : string;
+  metadata_fields : string list;
+}
+
+type t = { id : string; mutable rules : rule list; mutable next_rule_id : int }
+
+let create id = { id; rules = []; next_rule_id = 0 }
+let id t = t.id
+
+let add_rule t ~classifier ~class_name ~metadata_fields =
+  let rule = { rule_id = t.next_rule_id; classifier; class_name; metadata_fields } in
+  t.next_rule_id <- t.next_rule_id + 1;
+  t.rules <- t.rules @ [ rule ];
+  rule
+
+let remove_rule t rule_id =
+  let before = List.length t.rules in
+  t.rules <- List.filter (fun r -> r.rule_id <> rule_id) t.rules;
+  List.length t.rules < before
+
+let rules t = t.rules
+let classify t descriptor = List.find_opt (fun r -> Classifier.matches r.classifier descriptor) t.rules
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>rule-set %s:@," t.id;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %s -> [%s, {msg_id%s}]@,"
+        (Classifier.to_string r.classifier)
+        r.class_name
+        (match r.metadata_fields with
+        | [] -> ""
+        | fs -> ", " ^ String.concat ", " fs))
+    t.rules;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,40 @@
+(** Classification rule-sets (paper §3.3).
+
+    A rule maps a classifier to a class name and the metadata fields to
+    attach: [<classifier> -> \[class_name, {meta-data}\]].  Rules are
+    arranged in rule-sets so that a message matches at most one rule per
+    rule-set — implemented as ordered first-match.  A message can belong
+    to one class per rule-set, so installing several rule-sets tags it
+    with several classes (Fig. 6's [r1]/[r2]/[r3]). *)
+
+type rule = {
+  rule_id : int;
+  classifier : Classifier.t;
+  class_name : string;  (** Unqualified; qualified by stage and rule-set. *)
+  metadata_fields : string list;
+      (** Descriptor fields to copy into the message metadata, e.g.
+          [\["msg_size"; "msg_type"\]].  The message identifier is always
+          attached, as in every example of Fig. 6. *)
+}
+
+type t
+
+val create : string -> t
+(** [create id] makes an empty rule-set named [id] (e.g. ["r1"]). *)
+
+val id : t -> string
+
+val add_rule :
+  t -> classifier:Classifier.t -> class_name:string -> metadata_fields:string list -> rule
+(** Appends a rule (lowest priority so far) and returns it. *)
+
+val remove_rule : t -> int -> bool
+(** [remove_rule t rule_id] returns whether a rule was removed. *)
+
+val rules : t -> rule list
+(** In match order. *)
+
+val classify : t -> Classifier.Descriptor.t -> rule option
+(** First matching rule, if any. *)
+
+val pp : Format.formatter -> t -> unit

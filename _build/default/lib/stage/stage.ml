@@ -1,0 +1,103 @@
+module Metadata = Eden_base.Metadata
+module Class_name = Eden_base.Class_name
+
+type info = {
+  stage_name : string;
+  classifier_fields : string list;
+  metadata_fields : string list;
+}
+
+type t = {
+  name : string;
+  classifier_fields : string list;
+  metadata_fields : string list;
+  mutable rulesets : Ruleset.t list;  (* in creation order *)
+  mutable next_msg_id : int64;
+}
+
+let create ~name ~classifier_fields ~metadata_fields =
+  { name; classifier_fields; metadata_fields; rulesets = []; next_msg_id = 0L }
+
+let name t = t.name
+
+let info t =
+  {
+    stage_name = t.name;
+    classifier_fields = t.classifier_fields;
+    metadata_fields = t.metadata_fields;
+  }
+
+let rulesets t = t.rulesets
+let find_ruleset t id = List.find_opt (fun rs -> String.equal (Ruleset.id rs) id) t.rulesets
+
+let new_msg_id t =
+  let id = t.next_msg_id in
+  t.next_msg_id <- Int64.add id 1L;
+  id
+
+let qualified_class t ~ruleset cls = Class_name.v ~stage:t.name ~ruleset ~name:cls
+
+let classify ?msg_id t descriptor =
+  let msg_id = match msg_id with Some id -> id | None -> new_msg_id t in
+  let md = Metadata.with_msg_id msg_id Metadata.empty in
+  List.fold_left
+    (fun md rs ->
+      match Ruleset.classify rs descriptor with
+      | None -> md
+      | Some rule ->
+        let md =
+          Metadata.add_class (qualified_class t ~ruleset:(Ruleset.id rs) rule.Ruleset.class_name) md
+        in
+        List.fold_left
+          (fun md field ->
+            match Classifier.Descriptor.find field descriptor with
+            | Some v -> Metadata.add field v md
+            | None -> md)
+          md rule.Ruleset.metadata_fields)
+    md t.rulesets
+
+module Api = struct
+  let get_stage_info = info
+
+  let create_stage_rule t ~ruleset ~classifier ~class_name ~metadata_fields =
+    let unknown_classifier =
+      List.filter
+        (fun f -> not (List.mem f t.classifier_fields))
+        (Classifier.fields_referenced classifier)
+    in
+    let unknown_metadata =
+      List.filter (fun f -> not (List.mem f t.metadata_fields)) metadata_fields
+    in
+    if unknown_classifier <> [] then
+      Error
+        (Printf.sprintf "stage %s cannot classify on: %s" t.name
+           (String.concat ", " unknown_classifier))
+    else if unknown_metadata <> [] then
+      Error
+        (Printf.sprintf "stage %s cannot generate metadata: %s" t.name
+           (String.concat ", " unknown_metadata))
+    else begin
+      let rs =
+        match find_ruleset t ruleset with
+        | Some rs -> rs
+        | None ->
+          let rs = Ruleset.create ruleset in
+          t.rulesets <- t.rulesets @ [ rs ];
+          rs
+      in
+      let rule = Ruleset.add_rule rs ~classifier ~class_name ~metadata_fields in
+      Ok rule.Ruleset.rule_id
+    end
+
+  let remove_stage_rule t ~ruleset ~rule_id =
+    match find_ruleset t ruleset with
+    | None -> false
+    | Some rs -> Ruleset.remove_rule rs rule_id
+end
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>stage %s@,  classifiers: %s@,  metadata: %s@," t.name
+    (String.concat ", " t.classifier_fields)
+    (String.concat ", " t.metadata_fields);
+  List.iter (fun rs -> Format.fprintf fmt "  %a@," Ruleset.pp rs) t.rulesets;
+  Format.fprintf fmt "@]"

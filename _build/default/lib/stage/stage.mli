@@ -1,0 +1,62 @@
+(** Eden stages.
+
+    A stage is any Eden-compliant application, library or service: it
+    declares which application-specific fields it can classify on and
+    which metadata it can generate, holds controller-installed rule-sets,
+    and tags every message it sends with classes and metadata that travel
+    with the message's packets down the stack (paper §3.3).
+
+    The controller talks to stages through {!Api}, the paper's Table 3. *)
+
+type info = {
+  stage_name : string;
+  classifier_fields : string list;
+      (** Fields usable in classifiers, e.g. [\["msg_type"; "key"\]]. *)
+  metadata_fields : string list;
+      (** Metadata the stage can attach, e.g. [\["msg_type"; "msg_size"\]].
+          The message identifier is always available and always attached. *)
+}
+
+type t
+
+val create :
+  name:string -> classifier_fields:string list -> metadata_fields:string list -> t
+
+val name : t -> string
+val info : t -> info
+
+val rulesets : t -> Ruleset.t list
+val find_ruleset : t -> string -> Ruleset.t option
+
+val new_msg_id : t -> int64
+(** Allocate a fresh message identifier (unique within the stage). *)
+
+val classify : ?msg_id:int64 -> t -> Classifier.Descriptor.t -> Eden_base.Metadata.t
+(** Run every installed rule-set over the descriptor.  The result carries
+    a message id (fresh unless provided), one fully-qualified class per
+    matching rule-set, and the union of the metadata fields requested by
+    the matched rules (values taken from the descriptor). *)
+
+val qualified_class : t -> ruleset:string -> string -> Eden_base.Class_name.t
+
+(** The Stage API (paper Table 3): what the controller calls. *)
+module Api : sig
+  val get_stage_info : t -> info
+  (** S0. *)
+
+  val create_stage_rule :
+    t ->
+    ruleset:string ->
+    classifier:Classifier.t ->
+    class_name:string ->
+    metadata_fields:string list ->
+    (int, string) result
+  (** S1.  Creates the rule-set on first use.  Rejects classifiers over
+      fields the stage cannot classify on and metadata the stage cannot
+      generate; returns the rule id. *)
+
+  val remove_stage_rule : t -> ruleset:string -> rule_id:int -> bool
+  (** S2.  Returns whether a rule was removed. *)
+end
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/flowsize.ml: Eden_base Printf

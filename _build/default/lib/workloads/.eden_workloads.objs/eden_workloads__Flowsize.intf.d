@@ -1,0 +1,1 @@
+lib/workloads/flowsize.mli: Eden_base

@@ -1,0 +1,1 @@
+lib/workloads/http_app.ml: Eden_base Eden_netsim Eden_stage List Option Rpc String

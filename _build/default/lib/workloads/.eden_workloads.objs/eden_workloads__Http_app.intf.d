@@ -1,0 +1,1 @@
+lib/workloads/http_app.mli: Eden_base Eden_netsim Eden_stage

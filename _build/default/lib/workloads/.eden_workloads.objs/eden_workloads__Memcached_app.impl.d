@@ -1,0 +1,1 @@
+lib/workloads/memcached_app.ml: Eden_base Eden_netsim Eden_stage Hashtbl Int64 List Option Rpc

@@ -1,0 +1,1 @@
+lib/workloads/memcached_app.mli: Eden_base Eden_netsim Eden_stage

@@ -1,0 +1,1 @@
+lib/workloads/reqresp.ml: Array Eden_base Eden_netsim Flowsize List Option

@@ -1,0 +1,1 @@
+lib/workloads/reqresp.mli: Eden_base Eden_netsim Flowsize

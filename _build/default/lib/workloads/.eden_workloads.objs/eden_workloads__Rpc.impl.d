@@ -1,0 +1,1 @@
+lib/workloads/rpc.ml: Eden_base Eden_netsim Hashtbl Int64 Option

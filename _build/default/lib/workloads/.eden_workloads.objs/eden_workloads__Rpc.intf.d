@@ -1,0 +1,1 @@
+lib/workloads/rpc.mli: Eden_base Eden_netsim

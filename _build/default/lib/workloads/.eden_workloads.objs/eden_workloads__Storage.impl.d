@@ -1,0 +1,1 @@
+lib/workloads/storage.ml: Eden_base Eden_netsim Int64 List Queue

@@ -1,0 +1,1 @@
+lib/workloads/storage.mli: Eden_base Eden_netsim

@@ -1,0 +1,82 @@
+module Dist = Eden_base.Dist
+module Rng = Eden_base.Rng
+
+type kind =
+  | Empirical of Dist.Empirical_cdf.t * (float * float) list
+  | Fixed of int
+  | Uniform of int * int
+
+type t = { name : string; kind : kind }
+
+let kb = 1024.0
+let mb = 1024.0 *. 1024.0
+
+(* Web-search workload (DCTCP, Alizadeh et al. 2010), as tabulated in the
+   PIAS/pFabric literature. *)
+let web_search_points =
+  [
+    (1.0 *. kb, 0.0);
+    (6.0 *. kb, 0.15);
+    (13.0 *. kb, 0.2);
+    (19.0 *. kb, 0.3);
+    (33.0 *. kb, 0.4);
+    (53.0 *. kb, 0.53);
+    (133.0 *. kb, 0.6);
+    (667.0 *. kb, 0.7);
+    (1.4 *. mb, 0.8);
+    (2.0 *. mb, 0.9);
+    (6.5 *. mb, 0.95);
+    (20.0 *. mb, 0.98);
+    (30.0 *. mb, 1.0);
+  ]
+
+(* Data-mining workload (VL2, Greenberg et al. 2009). *)
+let data_mining_points =
+  [
+    (100.0, 0.0);
+    (180.0, 0.1);
+    (216.0, 0.2);
+    (560.0, 0.3);
+    (900.0, 0.4);
+    (1100.0, 0.5);
+    (60.0 *. kb, 0.6);
+    (380.0 *. kb, 0.7);
+    (2.5 *. mb, 0.8);
+    (10.0 *. mb, 0.9);
+    (100.0 *. mb, 0.98);
+    (1000.0 *. mb, 1.0);
+  ]
+
+let empirical name points =
+  { name; kind = Empirical (Dist.Empirical_cdf.create points, points) }
+
+let web_search = empirical "web-search" web_search_points
+let data_mining = empirical "data-mining" data_mining_points
+let fixed n = { name = Printf.sprintf "fixed-%d" n; kind = Fixed n }
+
+let uniform ~lo ~hi =
+  if lo > hi then invalid_arg "Flowsize.uniform: lo > hi";
+  { name = Printf.sprintf "uniform-%d-%d" lo hi; kind = Uniform (lo, hi) }
+
+let sample t rng =
+  let v =
+    match t.kind with
+    | Empirical (cdf, _) -> int_of_float (Dist.Empirical_cdf.sample cdf rng)
+    | Fixed n -> n
+    | Uniform (lo, hi) -> lo + Rng.int rng (hi - lo + 1)
+  in
+  max 1 v
+
+let mean t =
+  match t.kind with
+  | Empirical (cdf, _) -> Dist.Empirical_cdf.mean cdf
+  | Fixed n -> float_of_int n
+  | Uniform (lo, hi) -> float_of_int (lo + hi) /. 2.0
+
+let name t = t.name
+
+let cdf t =
+  match t.kind with
+  | Empirical (_, points) -> points
+  | Fixed n -> [ (float_of_int n, 0.0); (float_of_int n, 1.0) ]
+  | Uniform (lo, hi) -> [ (float_of_int lo, 0.0); (float_of_int hi, 1.0) ]

@@ -1,0 +1,30 @@
+(** Flow-size distributions.
+
+    The paper's flow-scheduling case study (§5.1) drives a realistic
+    request–response workload "with responses reflecting the flow size
+    distribution found in search applications", citing DCTCP and PIAS.
+    [web_search] is that distribution; [data_mining] is the other
+    standard datacenter workload (VL2), useful for extra experiments. *)
+
+type t
+
+val web_search : t
+(** DCTCP-style web-search workload: >50% of flows under ~100 KB with a
+    heavy multi-megabyte tail. *)
+
+val data_mining : t
+(** VL2-style data-mining workload: even more extreme — most flows are a
+    few KB, the tail reaches 1 GB. *)
+
+val fixed : int -> t
+val uniform : lo:int -> hi:int -> t
+
+val sample : t -> Eden_base.Rng.t -> int
+(** A flow size in bytes (at least 1). *)
+
+val mean : t -> float
+val name : t -> string
+
+val cdf : t -> (float * float) list
+(** The (bytes, cumulative probability) points of an empirical
+    distribution; for [fixed]/[uniform] a two-point rendering. *)

@@ -1,0 +1,111 @@
+module Time = Eden_base.Time
+module Addr = Eden_base.Addr
+module Metadata = Eden_base.Metadata
+module Net = Eden_netsim.Net
+module Stage = Eden_stage.Stage
+module Builtin = Eden_stage.Builtin
+
+let request_wire_bytes = 200
+
+type server = {
+  s_host : Addr.host;
+  s_default_response_bytes : int;
+  s_stage : Stage.t;  (* the server's own HTTP-library stage *)
+  mutable s_routes : (string * int) list;  (* prefix -> response size *)
+}
+
+let server ~net:_ ~host ?(default_response_bytes = 8192) () =
+  {
+    s_host = host;
+    s_default_response_bytes = default_response_bytes;
+    s_stage = Builtin.http ();
+    s_routes = [];
+  }
+
+let server_stage srv = srv.s_stage
+
+let set_route srv ~prefix ~response_bytes =
+  srv.s_routes <- (prefix, response_bytes) :: List.remove_assoc prefix srv.s_routes
+
+let is_prefix p s =
+  String.length s >= String.length p && String.equal (String.sub s 0 (String.length p)) p
+
+let route srv url =
+  let best =
+    List.fold_left
+      (fun acc (prefix, size) ->
+        if is_prefix prefix url then
+          match acc with
+          | Some (p, _) when String.length p >= String.length prefix -> acc
+          | _ -> Some (prefix, size)
+        else acc)
+      None srv.s_routes
+  in
+  match best with Some (_, size) -> size | None -> srv.s_default_response_bytes
+
+let handle srv md =
+  let url = Option.value ~default:"/" (Metadata.find_str Metadata.Field.url md) in
+  route srv url
+
+type fetch_result = { url : string; latency : Time.t; response_bytes : int }
+
+type client = {
+  c_stage : Stage.t;
+  c_rpc : Rpc.client;
+  c_server : server;
+  mutable c_results : fetch_result list;  (* newest first *)
+}
+
+(* The server classifies its responses through its own stage: a response
+   to /api/cart is an http RESPONSE message for that URL, and carries
+   whatever classes the controller's rule-sets assign. *)
+let response_metadata srv request_md =
+  let url = Option.value ~default:"/" (Metadata.find_str Metadata.Field.url request_md) in
+  Stage.classify srv.s_stage
+    (Builtin.http_descriptor ~msg_type:`Response ~url ~size:(route srv url))
+
+let client ~net ~server:srv ~host ?stage () =
+  let c_stage = match stage with Some s -> s | None -> Builtin.http () in
+  let endpoint =
+    {
+      Rpc.host = srv.s_host;
+      port = 80;
+      handler = handle srv;
+      response_metadata = Some (response_metadata srv);
+    }
+  in
+  {
+    c_stage;
+    c_rpc = Rpc.connect ~net ~endpoint ~client_host:host ~response_port:(24_000 + host) ();
+    c_server = srv;
+    c_results = [];
+  }
+
+let stage c = c.c_stage
+
+let fetch c ~url ?on_reply () =
+  let expected = route c.c_server url in
+  let md =
+    Stage.classify c.c_stage (Builtin.http_descriptor ~msg_type:`Request ~url ~size:expected)
+  in
+  (* As with memcached: the application guarantees the server-visible
+     fields whether or not a classification rule requested them. *)
+  let md = Metadata.add Metadata.Field.url (Metadata.str url) md in
+  Rpc.call c.c_rpc ~metadata:md ~request_bytes:request_wire_bytes
+    ~on_reply:(fun (r : Rpc.reply) ->
+      let result =
+        { url; latency = r.Rpc.latency; response_bytes = r.Rpc.response_bytes }
+      in
+      c.c_results <- result :: c.c_results;
+      match on_reply with Some f -> f result | None -> ())
+    ()
+
+let results c = List.rev c.c_results
+let outstanding c = Rpc.outstanding c.c_rpc
+
+let latencies_us ?url_prefix c =
+  List.filter_map
+    (fun r ->
+      let keep = match url_prefix with Some p -> is_prefix p r.url | None -> true in
+      if keep then Some (Time.to_us r.latency) else None)
+    (results c)

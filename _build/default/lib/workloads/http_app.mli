@@ -1,0 +1,48 @@
+(** An HTTP-library application over the simulator.
+
+    The second application stage of the paper's Table 2: requests are
+    classified by message type and URL, so enclave policies can treat
+    [/api/…] calls differently from [/static/…] bulk fetches.  The server
+    maps URL prefixes to response sizes (longest prefix wins). *)
+
+type server
+
+val server :
+  net:Eden_netsim.Net.t ->
+  host:Eden_base.Addr.host ->
+  ?default_response_bytes:int ->
+  unit ->
+  server
+(** Unrouted URLs yield [default_response_bytes] (default 8192). *)
+
+val set_route : server -> prefix:string -> response_bytes:int -> unit
+
+val server_stage : server -> Eden_stage.Stage.t
+(** The server's own HTTP stage: program it to classify {e responses}
+    (URL + RESPONSE type), so server-side enclaves can prioritize them. *)
+
+type client
+
+val client :
+  net:Eden_netsim.Net.t ->
+  server:server ->
+  host:Eden_base.Addr.host ->
+  ?stage:Eden_stage.Stage.t ->
+  unit ->
+  client
+(** [stage] defaults to a fresh {!Eden_stage.Builtin.http}. *)
+
+val stage : client -> Eden_stage.Stage.t
+
+type fetch_result = {
+  url : string;
+  latency : Eden_base.Time.t;
+  response_bytes : int;
+}
+
+val fetch : client -> url:string -> ?on_reply:(fetch_result -> unit) -> unit -> unit
+
+val results : client -> fetch_result list
+val outstanding : client -> int
+
+val latencies_us : ?url_prefix:string -> client -> float list

@@ -1,0 +1,118 @@
+module Time = Eden_base.Time
+module Addr = Eden_base.Addr
+module Metadata = Eden_base.Metadata
+module Net = Eden_netsim.Net
+module Stage = Eden_stage.Stage
+module Builtin = Eden_stage.Builtin
+
+let request_wire_bytes = 100
+let ack_wire_bytes = 64
+
+type server = {
+  s_net : Net.t;
+  s_host : Addr.host;
+  s_default_value_bytes : int;
+  s_store : (string, int) Hashtbl.t;  (* key -> value size *)
+}
+
+let server ~net ~host ?(default_value_bytes = 2048) () =
+  { s_net = net; s_host = host; s_default_value_bytes = default_value_bytes;
+    s_store = Hashtbl.create 64 }
+
+let stored_size srv ~key = Hashtbl.find_opt srv.s_store key
+
+(* Request metadata -> response size, updating the store for PUTs. *)
+let handle srv md =
+  let key = Option.value ~default:"" (Metadata.find_str Metadata.Field.key md) in
+  match Metadata.find_str Metadata.Field.msg_type md with
+  | Some "PUT" ->
+    let size =
+      Int64.to_int (Option.value ~default:0L (Metadata.find_int Metadata.Field.msg_size md))
+    in
+    Hashtbl.replace srv.s_store key size;
+    ack_wire_bytes
+  | Some "GET" | Some _ | None ->
+    Option.value ~default:srv.s_default_value_bytes (Hashtbl.find_opt srv.s_store key)
+
+type op_result = {
+  key : string;
+  op : [ `Get | `Put ];
+  latency : Time.t;
+  response_bytes : int;
+}
+
+type client = {
+  c_server : server;
+  c_stage : Stage.t;
+  (* GETs and PUTs ride separate connections (the usual client-pool
+     setup), so a latency-critical GET is never stuck behind bulk PUT
+     bytes in its own stream — class-based priorities can then act on
+     the wire. *)
+  c_get : Rpc.client;
+  c_put : Rpc.client;
+  mutable c_results : op_result list;  (* newest first *)
+}
+
+let client ~net ~server:srv ~host ?stage () =
+  let c_stage = match stage with Some s -> s | None -> Builtin.memcached () in
+  let endpoint port =
+    { Rpc.host = srv.s_host; port; handler = handle srv; response_metadata = None }
+  in
+  {
+    c_server = srv;
+    c_stage;
+    c_get =
+      Rpc.connect ~net ~endpoint:(endpoint 11211) ~client_host:host
+        ~response_port:(22_000 + host) ();
+    c_put =
+      Rpc.connect ~net ~endpoint:(endpoint 11212) ~client_host:host
+        ~response_port:(23_000 + host) ();
+    c_results = [];
+  }
+
+let stage c = c.c_stage
+
+let issue c ~key ~op ~wire_bytes ~descriptor_size ?on_reply () =
+  let md =
+    Stage.classify c.c_stage (Builtin.memcached_descriptor ~op ~key ~size:descriptor_size)
+  in
+  (* The stage attaches key/type metadata only when a rule asks for it;
+     the server needs both, so the app ensures they are present (an
+     Eden-compliant application always knows its own message). *)
+  let md = Metadata.add Metadata.Field.key (Metadata.str key) md in
+  let md =
+    Metadata.add Metadata.Field.msg_type
+      (Metadata.str (match op with `Get -> "GET" | `Put -> "PUT"))
+      md
+  in
+  let md = Metadata.add Metadata.Field.msg_size (Metadata.int descriptor_size) md in
+  let rpc = match op with `Get -> c.c_get | `Put -> c.c_put in
+  Rpc.call rpc ~metadata:md ~request_bytes:wire_bytes
+    ~on_reply:(fun (r : Rpc.reply) ->
+      let result =
+        { key; op; latency = r.Rpc.latency; response_bytes = r.Rpc.response_bytes }
+      in
+      c.c_results <- result :: c.c_results;
+      match on_reply with Some f -> f result | None -> ())
+    ()
+
+let get c ~key ?on_reply () =
+  issue c ~key ~op:`Get ~wire_bytes:request_wire_bytes
+    ~descriptor_size:
+      (Option.value ~default:c.c_server.s_default_value_bytes
+         (Hashtbl.find_opt c.c_server.s_store key))
+    ?on_reply ()
+
+let put c ~key ~size ?on_reply () =
+  issue c ~key ~op:`Put ~wire_bytes:size ~descriptor_size:size ?on_reply ()
+
+let results c = List.rev c.c_results
+let outstanding c = Rpc.outstanding c.c_get + Rpc.outstanding c.c_put
+
+let latencies c op =
+  List.filter_map
+    (fun r -> if r.op = op then Some (Time.to_us r.latency) else None)
+    (results c)
+
+let get_latencies_us c = latencies c `Get
+let put_latencies_us c = latencies c `Put

@@ -1,0 +1,57 @@
+(** A networked memcached-style key-value application.
+
+    The paper's running example (§1, §2.1.1): clients issue GETs and PUTs
+    whose packets the memcached {e stage} classifies, so enclave policies
+    can treat them differently — prioritize GETs, steer by key, balance
+    per message.  This module provides the client/server pair over the
+    simulator: requests and responses are TCP messages carrying stage
+    metadata, and the client measures per-operation latency.
+
+    Wire model: a GET is a ~100-byte request answered by a value-sized
+    response; a PUT carries the value and is answered by a small ack. *)
+
+type server
+
+val server :
+  net:Eden_netsim.Net.t ->
+  host:Eden_base.Addr.host ->
+  ?default_value_bytes:int ->
+  unit ->
+  server
+(** Serves from an in-memory store; unknown keys yield
+    [default_value_bytes] (default 2048) values, PUTs update sizes. *)
+
+val stored_size : server -> key:string -> int option
+
+type client
+
+val client :
+  net:Eden_netsim.Net.t ->
+  server:server ->
+  host:Eden_base.Addr.host ->
+  ?stage:Eden_stage.Stage.t ->
+  unit ->
+  client
+(** [stage] (default a fresh {!Eden_stage.Builtin.memcached} with no
+    rules) classifies each operation; install rule-sets on it to give the
+    enclave classes to match on. *)
+
+val stage : client -> Eden_stage.Stage.t
+
+type op_result = {
+  key : string;
+  op : [ `Get | `Put ];
+  latency : Eden_base.Time.t;
+  response_bytes : int;
+}
+
+val get : client -> key:string -> ?on_reply:(op_result -> unit) -> unit -> unit
+val put : client -> key:string -> size:int -> ?on_reply:(op_result -> unit) -> unit -> unit
+
+val results : client -> op_result list
+(** Completed operations, oldest first. *)
+
+val outstanding : client -> int
+
+val get_latencies_us : client -> float list
+val put_latencies_us : client -> float list

@@ -1,0 +1,80 @@
+module Time = Eden_base.Time
+module Rng = Eden_base.Rng
+module Dist = Eden_base.Dist
+module Metadata = Eden_base.Metadata
+module Net = Eden_netsim.Net
+module Event = Eden_netsim.Event
+module Tcp = Eden_netsim.Tcp
+
+type bucket = Small | Intermediate | Large
+
+let bucket_of_size size =
+  if size < 10_240 then Small else if size <= 1_048_576 then Intermediate else Large
+
+let bucket_to_string = function
+  | Small -> "small"
+  | Intermediate -> "intermediate"
+  | Large -> "large"
+
+type record = {
+  r_size : int;
+  r_bucket : bucket;
+  r_fct : Time.t;
+  r_retransmissions : int;
+}
+
+type t = {
+  mutable records : record list;
+  mutable launched : int;
+  mutable completed : int;
+}
+
+let launch ~net ~rng ~src ~dsts ~sizes ~load ~link_rate_bps ?metadata_for ?until () =
+  if load <= 0.0 || load >= 1.0 then invalid_arg "Reqresp.launch: load must be in (0,1)";
+  if dsts = [] then invalid_arg "Reqresp.launch: no destinations";
+  let until = Option.value ~default:(Time.sec 1.0) until in
+  let t = { records = []; launched = 0; completed = 0 } in
+  let dsts = Array.of_list dsts in
+  let mean_size = Flowsize.mean sizes in
+  (* Offered load = arrival_rate * mean_size * 8 / link_rate. *)
+  let rate_per_sec = load *. link_rate_bps /. (mean_size *. 8.0) in
+  let ev = Net.event net in
+  let start_one () =
+    let size = Flowsize.sample sizes rng in
+    let dst = dsts.(Rng.int rng (Array.length dsts)) in
+    let metadata =
+      match metadata_for with Some f -> Some (f ~size) | None -> None
+    in
+    t.launched <- t.launched + 1;
+    ignore
+      (Net.start_flow net ~src ~dst ?metadata
+         ~on_complete:(fun fc ->
+           t.completed <- t.completed + 1;
+           t.records <-
+             {
+               r_size = size;
+               r_bucket = bucket_of_size size;
+               r_fct = Time.sub fc.Tcp.Sender.fc_completed fc.Tcp.Sender.fc_started;
+               r_retransmissions = fc.Tcp.Sender.fc_retransmissions;
+             }
+             :: t.records)
+         ~size ())
+  in
+  let rec schedule_next at =
+    if Time.( <= ) at until then
+      Event.schedule_at ev at (fun () ->
+          start_one ();
+          schedule_next (Time.add at (Dist.poisson_gap rng ~rate_per_sec)))
+  in
+  schedule_next (Dist.poisson_gap rng ~rate_per_sec);
+  t
+
+let records t = List.rev t.records
+
+let fcts_us t bucket =
+  List.filter_map
+    (fun r -> if r.r_bucket = bucket then Some (Time.to_us r.r_fct) else None)
+    (records t)
+
+let launched t = t.launched
+let completed t = t.completed

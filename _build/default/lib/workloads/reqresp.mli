@@ -1,0 +1,46 @@
+(** Open-loop request–response traffic (paper §5.1).
+
+    Flow arrivals follow a Poisson process whose rate is chosen so the
+    offered load hits a target fraction of a reference link's capacity;
+    each arrival launches a response flow whose size is drawn from a
+    {!Flowsize.t}.  Completion times are recorded per size bucket —
+    small (< 10 KB), intermediate (10 KB – 1 MB), large — matching the
+    buckets of the paper's Fig. 9. *)
+
+type bucket = Small | Intermediate | Large
+
+val bucket_of_size : int -> bucket
+val bucket_to_string : bucket -> string
+
+type record = {
+  r_size : int;
+  r_bucket : bucket;
+  r_fct : Eden_base.Time.t;
+  r_retransmissions : int;
+}
+
+type t
+
+val launch :
+  net:Eden_netsim.Net.t ->
+  rng:Eden_base.Rng.t ->
+  src:Eden_base.Addr.host ->
+  dsts:Eden_base.Addr.host list ->
+  sizes:Flowsize.t ->
+  load:float ->
+  link_rate_bps:float ->
+  ?metadata_for:(size:int -> Eden_base.Metadata.t) ->
+  ?until:Eden_base.Time.t ->
+  unit ->
+  t
+(** Schedule arrivals on the net's calendar from time ~0 until [until]
+    (default 1 s of simulated time).  [metadata_for] lets the caller tag
+    each flow's single message with stage metadata (e.g. SFF flow-size
+    hints). Destinations are chosen uniformly. *)
+
+val records : t -> record list
+val fcts_us : t -> bucket -> float list
+(** Completion times, microseconds, for one bucket. *)
+
+val launched : t -> int
+val completed : t -> int

@@ -1,0 +1,101 @@
+module Time = Eden_base.Time
+module Metadata = Eden_base.Metadata
+module Net = Eden_netsim.Net
+module Tcp = Eden_netsim.Tcp
+
+type endpoint = {
+  host : Eden_base.Addr.host;
+  port : int;
+  handler : Metadata.t -> int;
+  response_metadata : (Metadata.t -> Metadata.t) option;
+}
+
+type reply = { latency : Time.t; response_bytes : int }
+
+let rpc_id_field = "__rpc_id"
+let reply_to_field = "__rpc_reply_to"
+
+type pending = { p_issued : Time.t; p_on_reply : (reply -> unit) option }
+
+type client = {
+  c_net : Net.t;
+  c_request_flow : Net.flow;
+  c_pending : (int64, pending) Hashtbl.t;
+  mutable c_next_id : int64;
+  mutable c_completed : int;
+}
+
+let connect ~net ~endpoint ~client_host ?response_port () =
+  let response_port = Option.value ~default:(20_000 + client_host) response_port in
+  let client_box = ref None in
+  let on_response md at =
+    match (!client_box, Metadata.find_int reply_to_field md) with
+    | Some c, Some reply_to -> (
+      match Hashtbl.find_opt c.c_pending reply_to with
+      | None -> ()
+      | Some p ->
+        Hashtbl.remove c.c_pending reply_to;
+        c.c_completed <- c.c_completed + 1;
+        (match p.p_on_reply with
+        | Some f ->
+          f
+            {
+              latency = Time.sub at p.p_issued;
+              response_bytes =
+                Int64.to_int
+                  (Option.value ~default:0L (Metadata.find_int "__wire_len" md));
+            }
+        | None -> ()))
+    | _ -> ()
+  in
+  let response_flow =
+    Net.open_flow net ~src:endpoint.host ~dst:client_host ~dst_port:response_port
+      ~on_message_received:on_response ()
+  in
+  let on_request md _at =
+    let response_bytes = max 1 (endpoint.handler md) in
+    let rpc_id = Option.value ~default:(-1L) (Metadata.find_int rpc_id_field md) in
+    let base =
+      match endpoint.response_metadata with
+      | Some classify -> classify md
+      | None -> Metadata.empty
+    in
+    let resp_md =
+      base
+      |> Metadata.with_msg_id (Net.alloc_packet_id net)
+      |> Metadata.add reply_to_field (Metadata.int64 rpc_id)
+    in
+    Tcp.Sender.send_message response_flow.Net.f_sender ~metadata:resp_md response_bytes
+  in
+  let request_flow =
+    Net.open_flow net ~src:client_host ~dst:endpoint.host ~dst_port:endpoint.port
+      ~on_message_received:on_request ()
+  in
+  let c =
+    {
+      c_net = net;
+      c_request_flow = request_flow;
+      c_pending = Hashtbl.create 32;
+      c_next_id = 1L;
+      c_completed = 0;
+    }
+  in
+  client_box := Some c;
+  c
+
+let call c ?(metadata = Metadata.empty) ?on_reply ~request_bytes () =
+  let id = c.c_next_id in
+  c.c_next_id <- Int64.add id 1L;
+  (* The request must carry a message id for receiver-side reassembly;
+     keep the application's if it set one. *)
+  let metadata =
+    match Metadata.msg_id metadata with
+    | Some _ -> metadata
+    | None -> Metadata.with_msg_id (Net.alloc_packet_id c.c_net) metadata
+  in
+  let metadata = Metadata.add rpc_id_field (Metadata.int64 id) metadata in
+  Hashtbl.replace c.c_pending id { p_issued = Net.now c.c_net; p_on_reply = on_reply };
+  Tcp.Sender.send_message c.c_request_flow.Net.f_sender ~metadata request_bytes
+
+let outstanding c = Hashtbl.length c.c_pending
+let completed c = c.c_completed

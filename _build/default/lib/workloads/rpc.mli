@@ -1,0 +1,53 @@
+(** Request–response plumbing over simulated TCP.
+
+    The application substrates (memcached, HTTP, storage-like services)
+    share one shape: a client sends a metadata-tagged request message and
+    awaits a response message on a dedicated reverse flow.  [Rpc] owns
+    the matching (request ids, reply-to echoing) and per-call callbacks;
+    applications supply the request metadata and a server-side handler
+    that turns a request into a response size. *)
+
+type endpoint = {
+  host : Eden_base.Addr.host;
+  port : int;
+  handler : Eden_base.Metadata.t -> int;
+      (** Request metadata → response payload bytes (≥ 1 enforced); runs
+          when the request message has fully arrived and may side-effect
+          application state. *)
+  response_metadata : (Eden_base.Metadata.t -> Eden_base.Metadata.t) option;
+      (** Stage classification for the {e response} message, given the
+          request's metadata — lets server-side enclaves act on response
+          classes (e.g. prioritize API responses). *)
+}
+
+type reply = {
+  latency : Eden_base.Time.t;
+  response_bytes : int;
+}
+
+type client
+
+val connect :
+  net:Eden_netsim.Net.t ->
+  endpoint:endpoint ->
+  client_host:Eden_base.Addr.host ->
+  ?response_port:int ->
+  unit ->
+  client
+(** Open the request flow (client → server) and the response flow
+    (server → client).  [response_port] must be unique per client on the
+    same host pair (default derives from the client host). *)
+
+val call :
+  client ->
+  ?metadata:Eden_base.Metadata.t ->
+  ?on_reply:(reply -> unit) ->
+  request_bytes:int ->
+  unit ->
+  unit
+(** Issue one request.  The caller's metadata travels with the request
+    (the handler sees it); matching uses a private field, so application
+    message ids are untouched. *)
+
+val outstanding : client -> int
+val completed : client -> int

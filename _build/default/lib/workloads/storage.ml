@@ -1,0 +1,235 @@
+module Time = Eden_base.Time
+module Addr = Eden_base.Addr
+module Metadata = Eden_base.Metadata
+module Net = Eden_netsim.Net
+module Event = Eden_netsim.Event
+module Tcp = Eden_netsim.Tcp
+
+let default_op_bytes = 64 * 1024
+let request_wire_bytes = 256
+let ack_wire_bytes = 64
+
+type io_op = { op_bytes : int; reply : unit -> unit }
+
+type server = {
+  s_net : Net.t;
+  s_host : Addr.host;
+  s_disk_rate_bps : float;
+  s_queue : io_op Queue.t;
+  mutable s_busy : bool;
+  s_port : int;
+}
+
+let server ~net ~host ~disk_rate_bps =
+  if disk_rate_bps <= 0.0 then invalid_arg "Storage.server: rate must be positive";
+  { s_net = net; s_host = host; s_disk_rate_bps = disk_rate_bps; s_queue = Queue.create ();
+    s_busy = false; s_port = 9000 }
+
+let service_time srv bytes =
+  Time.of_float_ns (float_of_int bytes *. 8.0 /. srv.s_disk_rate_bps *. 1e9)
+
+let rec disk_start srv =
+  match Queue.take_opt srv.s_queue with
+  | None -> srv.s_busy <- false
+  | Some op ->
+    srv.s_busy <- true;
+    Event.schedule_in (Net.event srv.s_net) (service_time srv op.op_bytes) (fun () ->
+        op.reply ();
+        disk_start srv)
+
+let disk_submit srv op =
+  Queue.add op srv.s_queue;
+  if not srv.s_busy then disk_start srv
+
+type kind = Read | Write
+
+type client = {
+  c_kind : kind;
+  c_net : Net.t;
+  c_tenant : int;
+  c_op_bytes : int;
+  c_outstanding : int;
+  c_classify : (op:[ `Read | `Write ] -> size:int -> Metadata.t) option;
+  c_request_flow : Net.flow;  (* client -> server *)
+  c_issue_one : client -> unit;
+  mutable c_bytes_completed : int;
+  mutable c_ops_completed : int;
+  mutable c_bytes_at : (Time.t * int) list;  (* completion log, newest first *)
+}
+
+let metadata_for c op =
+  match c.c_classify with
+  | Some f -> f ~op ~size:c.c_op_bytes
+  | None -> Metadata.empty
+
+let complete c =
+  c.c_ops_completed <- c.c_ops_completed + 1;
+  c.c_bytes_completed <- c.c_bytes_completed + c.c_op_bytes;
+  c.c_bytes_at <- (Net.now c.c_net, c.c_op_bytes) :: c.c_bytes_at
+
+(* ------------------------------------------------------------------ *)
+(* Read client: small requests out, 64 KB responses back on a dedicated
+   server->client flow; the response flow itself is what the disk feeds. *)
+
+let read_client ~net ~server:srv ~host ~tenant ?(op_bytes = default_op_bytes)
+    ?(outstanding = 64) ?classify () =
+  (* Response flow: server -> client, one per client. *)
+  let rec client_ref = ref None
+  and on_response_message _md _at =
+    match !client_ref with
+    | Some c ->
+      complete c;
+      c.c_issue_one c
+    | None -> ()
+  in
+  let response_flow =
+    Net.open_flow net ~src:srv.s_host ~dst:host ~dst_port:(7000 + tenant)
+      ~on_message_received:on_response_message ()
+  in
+  (* Request flow: client -> server.  The server reacts to each complete
+     request message by queueing a disk op whose completion sends the
+     response. *)
+  let on_request_message md _at =
+    let op_size =
+      match Metadata.find_int Metadata.Field.msg_size md with
+      | Some s -> Int64.to_int s
+      | None -> op_bytes
+    in
+    disk_submit srv
+      {
+        op_bytes = op_size;
+        reply =
+          (fun () ->
+            (* Response metadata carries the size so the client's
+               on_message fires when it fully arrives. *)
+            let resp_md =
+              Metadata.empty
+              |> Metadata.with_msg_id (Net.alloc_packet_id net)
+              |> Metadata.add Metadata.Field.msg_size (Metadata.int op_size)
+            in
+            Tcp.Sender.send_message response_flow.Net.f_sender ~metadata:resp_md op_size);
+      }
+  in
+  let request_flow =
+    Net.open_flow net ~src:host ~dst:srv.s_host ~dst_port:srv.s_port
+      ~on_message_received:on_request_message ()
+  in
+  let issue_one c =
+    let md = metadata_for c `Read in
+    (* The request must carry the operation size even without a policy
+       classifier, because the server reads it. *)
+    let md = Metadata.add Metadata.Field.msg_size (Metadata.int c.c_op_bytes) md in
+    let md =
+      match Metadata.msg_id md with
+      | Some _ -> md
+      | None -> Metadata.with_msg_id (Net.alloc_packet_id c.c_net) md
+    in
+    Tcp.Sender.send_message c.c_request_flow.Net.f_sender ~metadata:md request_wire_bytes
+  in
+  let c =
+    {
+      c_kind = Read;
+      c_net = net;
+      c_tenant = tenant;
+      c_op_bytes = op_bytes;
+      c_outstanding = outstanding;
+      c_classify = classify;
+      c_request_flow = request_flow;
+      c_issue_one = issue_one;
+      c_bytes_completed = 0;
+      c_ops_completed = 0;
+      c_bytes_at = [];
+    }
+  in
+  client_ref := Some c;
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Write client: 64 KB messages out; the server services the op after the
+   data fully arrives and acks with a tiny message on the reverse flow. *)
+
+let write_client ~net ~server:srv ~host ~tenant ?(op_bytes = default_op_bytes)
+    ?(outstanding = 8) ?classify () =
+  let rec client_ref = ref None
+  and on_ack_message _md _at =
+    match !client_ref with
+    | Some c ->
+      complete c;
+      c.c_issue_one c
+    | None -> ()
+  in
+  let ack_flow =
+    Net.open_flow net ~src:srv.s_host ~dst:host ~dst_port:(7100 + tenant)
+      ~on_message_received:on_ack_message ()
+  in
+  let on_write_message md _at =
+    let op_size =
+      match Metadata.find_int Metadata.Field.msg_size md with
+      | Some s -> Int64.to_int s
+      | None -> op_bytes
+    in
+    disk_submit srv
+      {
+        op_bytes = op_size;
+        reply =
+          (fun () ->
+            let ack_md =
+              Metadata.empty
+              |> Metadata.with_msg_id (Net.alloc_packet_id net)
+              |> Metadata.add Metadata.Field.msg_size (Metadata.int ack_wire_bytes)
+            in
+            Tcp.Sender.send_message ack_flow.Net.f_sender ~metadata:ack_md ack_wire_bytes);
+      }
+  in
+  let write_flow =
+    Net.open_flow net ~src:host ~dst:srv.s_host ~dst_port:(srv.s_port + 1)
+      ~on_message_received:on_write_message ()
+  in
+  let issue_one c =
+    let md = metadata_for c `Write in
+    let md = Metadata.add Metadata.Field.msg_size (Metadata.int c.c_op_bytes) md in
+    let md =
+      match Metadata.msg_id md with
+      | Some _ -> md
+      | None -> Metadata.with_msg_id (Net.alloc_packet_id c.c_net) md
+    in
+    Tcp.Sender.send_message c.c_request_flow.Net.f_sender ~metadata:md c.c_op_bytes
+  in
+  let c =
+    {
+      c_kind = Write;
+      c_net = net;
+      c_tenant = tenant;
+      c_op_bytes = op_bytes;
+      c_outstanding = outstanding;
+      c_classify = classify;
+      c_request_flow = write_flow;
+      c_issue_one = issue_one;
+      c_bytes_completed = 0;
+      c_ops_completed = 0;
+      c_bytes_at = [];
+    }
+  in
+  client_ref := Some c;
+  c
+
+let start c ~at =
+  Event.schedule_at (Net.event c.c_net) at (fun () ->
+      for _ = 1 to c.c_outstanding do
+        c.c_issue_one c
+      done)
+
+let bytes_completed c = c.c_bytes_completed
+let ops_completed c = c.c_ops_completed
+
+let throughput_mbytes_per_sec c ~since ~now =
+  let window = Time.to_sec (Time.sub now since) in
+  if window <= 0.0 then 0.0
+  else begin
+    let bytes =
+      List.fold_left
+        (fun acc (at, b) -> if Time.( >= ) at since && Time.( <= ) at now then acc + b else acc)
+        0 c.c_bytes_at
+    in
+    float_of_int bytes /. window /. 1e6
+  end

@@ -1,0 +1,61 @@
+(** Storage substrate for the datacenter-QoS case study (paper §5.3).
+
+    The paper's experiment runs two tenants against a storage server
+    backed by a RAM disk behind a 1 Gbps link: one tenant READs, the
+    other WRITEs, 64 KB IOs.  READ requests are tiny on the forward
+    (client→server) path, so an unconstrained reader floods the server's
+    IO queue and starves the writer; Pulsar's rate control charges READ
+    requests by {e operation} size, restoring balance (Fig. 11).
+
+    This module provides the server (a FIFO disk-service queue plus
+    response generation) and closed-loop read/write clients. *)
+
+type server
+
+val server :
+  net:Eden_netsim.Net.t -> host:Eden_base.Addr.host -> disk_rate_bps:float -> server
+(** The server host must already be connected to the topology.  Incoming
+    IO messages are serviced FIFO at [disk_rate_bps]. *)
+
+type client
+
+val read_client :
+  net:Eden_netsim.Net.t ->
+  server:server ->
+  host:Eden_base.Addr.host ->
+  tenant:int ->
+  ?op_bytes:int ->
+  ?outstanding:int ->
+  ?classify:(op:[ `Read | `Write ] -> size:int -> Eden_base.Metadata.t) ->
+  unit ->
+  client
+(** Keeps [outstanding] (default 64) READ requests in flight: each
+    request is a ~256-byte message tagged by [classify]; the 64 KB
+    response arrives on a server→client flow.  Closed loop: a completed
+    response immediately triggers the next request. *)
+
+val write_client :
+  net:Eden_netsim.Net.t ->
+  server:server ->
+  host:Eden_base.Addr.host ->
+  tenant:int ->
+  ?op_bytes:int ->
+  ?outstanding:int ->
+  ?classify:(op:[ `Read | `Write ] -> size:int -> Eden_base.Metadata.t) ->
+  unit ->
+  client
+(** Keeps [outstanding] (default 8) WRITE operations in flight; each is a
+    full 64 KB transfer followed by a small server acknowledgement. *)
+
+val start : client -> at:Eden_base.Time.t -> unit
+
+val bytes_completed : client -> int
+(** Payload bytes of fully completed operations (response received for
+    reads, server ack received for writes). *)
+
+val ops_completed : client -> int
+
+val throughput_mbytes_per_sec : client -> since:Eden_base.Time.t -> now:Eden_base.Time.t -> float
+
+val default_op_bytes : int
+(** 64 KB, the paper's IO size. *)

@@ -1,0 +1,1 @@
+test/test_base.ml: Addr Alcotest Array Class_name Dist Eden_base Format Gen Int64 List Metadata Option QCheck QCheck_alcotest Rng Stats Time

@@ -1,0 +1,1 @@
+test/test_bytecode.ml: Alcotest Array Asm Bytes Codec Eden_base Eden_bytecode Int64 Interp Opcode Printf Program QCheck QCheck_alcotest Result String Verifier

@@ -1,0 +1,1 @@
+test/test_enclave.ml: Alcotest Array Compile Dsl Eden_base Eden_enclave Eden_lang Float Int64 List Option Printf Result Schema String

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Ast Compile Dsl Eden_base Eden_bytecode Eden_functions Eden_lang Eval Int64 Parser Pretty QCheck QCheck_alcotest Schema

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Eden_base Eden_experiments Fig10 Fig11 Fig12 Fig9 Float Footprint List Listings Printf String

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Compile Dsl Eden_base Eden_bytecode Eden_lang Gen Int64 List Pretty Printf QCheck QCheck_alcotest Result Schema Stdlib String Test Typecheck

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Eden_base Eden_enclave Eden_functions Eden_netsim Event Fabric Host Int64 Link List Net Printf Switch Tcp Trace

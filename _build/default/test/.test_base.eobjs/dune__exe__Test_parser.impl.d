@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Compile Eden_functions Eden_lang Int64 List Parser Pretty QCheck QCheck_alcotest Result Schema

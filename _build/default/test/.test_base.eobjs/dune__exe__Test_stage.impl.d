@@ -1,0 +1,1 @@
+test/test_stage.ml: Alcotest Builtin Classifier Eden_base Eden_stage Gen List QCheck QCheck_alcotest Stage String

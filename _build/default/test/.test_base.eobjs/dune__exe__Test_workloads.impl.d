@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Eden_base Eden_enclave Eden_functions Eden_netsim Eden_stage Eden_workloads Hashtbl Int64 List Option Printf

@@ -1,0 +1,124 @@
+(* Small-scale smoke tests of the figure-reproduction experiments: each
+   must run end to end and reproduce the paper's qualitative shape. *)
+
+module Time = Eden_base.Time
+open Eden_experiments
+
+let check_bool = Alcotest.(check bool)
+
+(* Tiny parameter sets keep these below a couple of seconds each. *)
+
+let fig9_params =
+  { Fig9.default_params with runs = 2; duration = Time.ms 120; link_rate_bps = 10e9 }
+
+let test_fig9_priorities_beat_baseline () =
+  let baseline = Fig9.run_config fig9_params Fig9.Baseline Fig9.Native in
+  let pias = Fig9.run_config fig9_params Fig9.Pias Fig9.Eden in
+  let sff = Fig9.run_config fig9_params Fig9.Sff Fig9.Eden in
+  check_bool
+    (Printf.sprintf "pias small (%.0f) < baseline small (%.0f)" pias.Fig9.small.Fig9.avg_us
+       baseline.Fig9.small.Fig9.avg_us)
+    true
+    (pias.Fig9.small.Fig9.avg_us < baseline.Fig9.small.Fig9.avg_us);
+  check_bool "sff small < baseline small" true
+    (sff.Fig9.small.Fig9.avg_us < baseline.Fig9.small.Fig9.avg_us);
+  check_bool "pias intermediate < baseline intermediate" true
+    (pias.Fig9.intermediate.Fig9.avg_us < baseline.Fig9.intermediate.Fig9.avg_us);
+  check_bool "buckets populated" true
+    (baseline.Fig9.small.Fig9.count > 5 && baseline.Fig9.intermediate.Fig9.count > 5)
+
+let test_fig9_eden_close_to_native () =
+  let native = Fig9.run_config fig9_params Fig9.Pias Fig9.Native in
+  let eden = Fig9.run_config fig9_params Fig9.Pias Fig9.Eden in
+  (* Same order of magnitude: interpretation must not change the story. *)
+  let ratio = eden.Fig9.small.Fig9.avg_us /. Float.max 1.0 native.Fig9.small.Fig9.avg_us in
+  check_bool (Printf.sprintf "ratio %.2f in [0.3, 3]" ratio) true (ratio > 0.3 && ratio < 3.0)
+
+let fig10_params = { Fig10.default_params with runs = 2; duration = Time.ms 100 }
+
+let test_fig10_wcmp_beats_ecmp () =
+  let ecmp = Fig10.run_config fig10_params Fig10.Ecmp Fig10.Eden in
+  let wcmp = Fig10.run_config fig10_params Fig10.Wcmp Fig10.Eden in
+  check_bool
+    (Printf.sprintf "wcmp %.0f > 2x ecmp %.0f" wcmp.Fig10.goodput_mbps ecmp.Fig10.goodput_mbps)
+    true
+    (wcmp.Fig10.goodput_mbps > 2.0 *. ecmp.Fig10.goodput_mbps);
+  (* Reordering keeps WCMP below the 11 Gbps min-cut. *)
+  check_bool "wcmp below min-cut" true (wcmp.Fig10.goodput_mbps < 11_000.0);
+  check_bool "ecmp dominated by slow path" true (ecmp.Fig10.goodput_mbps < 4_000.0)
+
+let fig11_params = { Fig11.default_params with duration = Time.ms 250; warmup = Time.ms 50 }
+
+let test_fig11_rate_control_restores_balance () =
+  let isolated = Fig11.run_mode fig11_params Fig11.Isolated in
+  let simultaneous = Fig11.run_mode fig11_params Fig11.Simultaneous in
+  let controlled = Fig11.run_mode fig11_params ~engine:Fig11.Eden Fig11.Rate_controlled in
+  check_bool "isolated read ~ line rate" true (isolated.Fig11.read_mbps > 100.0);
+  check_bool "isolated write ~ line rate" true (isolated.Fig11.write_mbps > 100.0);
+  (* Competing writes collapse (paper: -72%). *)
+  check_bool
+    (Printf.sprintf "writes collapse: %.0f -> %.0f" isolated.Fig11.write_mbps
+       simultaneous.Fig11.write_mbps)
+    true
+    (simultaneous.Fig11.write_mbps < 0.5 *. isolated.Fig11.write_mbps);
+  (* Rate control roughly equalizes. *)
+  let r = controlled.Fig11.read_mbps and w = controlled.Fig11.write_mbps in
+  check_bool (Printf.sprintf "balanced %.0f vs %.0f" r w) true
+    (Float.abs (r -. w) < 0.3 *. Float.max r w);
+  check_bool "each near half capacity" true (w > 40.0 && r > 40.0)
+
+let test_fig12_overheads_reasonable () =
+  let params = { Fig12.default_params with duration = Time.ms 60 } in
+  let out = Fig12.run ~params () in
+  check_bool "packets flowed" true (out.Fig12.packets > 10_000);
+  check_bool "windows sampled" true (out.Fig12.windows >= 4);
+  check_bool
+    (Printf.sprintf "total overhead %.1f%% in (0, 30)" out.Fig12.total_avg_pct)
+    true
+    (out.Fig12.total_avg_pct > 0.0 && out.Fig12.total_avg_pct < 30.0);
+  (* The interpreter dominates API and enclave mechanics, as in Fig. 12. *)
+  let find c = List.find (fun r -> r.Fig12.component = c) out.Fig12.results in
+  check_bool "interpreter is the largest component" true
+    ((find Fig12.Interpreter).Fig12.avg_pct >= (find Fig12.Api).Fig12.avg_pct)
+
+let test_footprint_matches_paper_budget () =
+  let entries = Footprint.run () in
+  Alcotest.(check int) "all seven paper functions" 7 (List.length entries);
+  List.iter
+    (fun e ->
+      (* §5.4: operand stacks on the order of 64 B, heaps ~256 B. *)
+      check_bool (e.Footprint.name ^ " stack <= 64B") true (e.Footprint.stack_bytes <= 64);
+      check_bool (e.Footprint.name ^ " heap <= 256 cells") true (e.Footprint.heap_cells <= 256);
+      check_bool (e.Footprint.name ^ " steps < 200") true (e.Footprint.steps_per_packet < 200))
+    entries
+
+let test_listings_render () =
+  let listings = Listings.all () in
+  check_bool "seven listings" true (List.length listings = 7);
+  List.iter
+    (fun (title, body) ->
+      check_bool (title ^ " non-empty") true (String.length body > 100);
+      let contains sub s =
+        let n = String.length sub in
+        let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      check_bool (title ^ " has compiled section") true (contains "-- compiled --" body))
+    listings
+
+let () =
+  Alcotest.run "eden_experiments"
+    [
+      ( "fig9",
+        [
+          Alcotest.test_case "priorities beat baseline" `Slow
+            test_fig9_priorities_beat_baseline;
+          Alcotest.test_case "eden close to native" `Slow test_fig9_eden_close_to_native;
+        ] );
+      ("fig10", [ Alcotest.test_case "wcmp beats ecmp" `Slow test_fig10_wcmp_beats_ecmp ]);
+      ( "fig11",
+        [ Alcotest.test_case "rate control balances" `Slow test_fig11_rate_control_restores_balance ] );
+      ("fig12", [ Alcotest.test_case "overheads" `Slow test_fig12_overheads_reasonable ]);
+      ("footprint", [ Alcotest.test_case "paper budget" `Quick test_footprint_matches_paper_budget ]);
+      ("listings", [ Alcotest.test_case "render" `Quick test_listings_render ]);
+    ]

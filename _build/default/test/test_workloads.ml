@@ -1,0 +1,347 @@
+(* Tests for the application substrates: the memcached client/server and
+   the storage tenants, including an end-to-end GET-over-PUT QoS check. *)
+
+module Time = Eden_base.Time
+module Metadata = Eden_base.Metadata
+module Net = Eden_netsim.Net
+module Host = Eden_netsim.Host
+module Switch = Eden_netsim.Switch
+module Event = Eden_netsim.Event
+module Enclave = Eden_enclave.Enclave
+module Kv = Eden_workloads.Memcached_app
+module Storage = Eden_workloads.Storage
+module Stage = Eden_stage.Stage
+module Classifier = Eden_stage.Classifier
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let star ?(rate_bps = 1e9) n =
+  let net = Net.create ~seed:51L () in
+  let sw = Net.add_switch net in
+  let hosts = List.init n (fun _ -> Net.add_host net) in
+  List.iter
+    (fun h ->
+      let p = Net.connect_host net h sw ~rate_bps () in
+      Switch.set_dst_route sw ~dst:(Host.id h) ~ports:[ p ])
+    hosts;
+  (net, hosts)
+
+(* ------------------------------------------------------------------ *)
+(* Memcached application *)
+
+let test_kv_get_put_roundtrip () =
+  let net, _ = star 2 in
+  let srv = Kv.server ~net ~host:1 ~default_value_bytes:4096 () in
+  let cl = Kv.client ~net ~server:srv ~host:0 () in
+  let got = ref [] in
+  Kv.put cl ~key:"user:1" ~size:10_000 ~on_reply:(fun r -> got := ("put", r) :: !got) ();
+  Net.run net;
+  Kv.get cl ~key:"user:1" ~on_reply:(fun r -> got := ("get", r) :: !got) ();
+  Net.run net;
+  check_int "both completed" 2 (List.length !got);
+  check_int "no pending" 0 (Kv.outstanding cl);
+  check_bool "stored size" true (Kv.stored_size srv ~key:"user:1" = Some 10_000);
+  (match List.assoc_opt "get" !got with
+  | Some r ->
+    check_bool "get latency positive" true (Time.compare r.Kv.latency Time.zero > 0);
+    check_int "get returned the stored value" 10_000 r.Kv.response_bytes
+  | None -> Alcotest.fail "no get result");
+  check_int "two results recorded" 2 (List.length (Kv.results cl))
+
+let test_kv_get_default_value () =
+  let net, _ = star 2 in
+  let srv = Kv.server ~net ~host:1 ~default_value_bytes:2048 () in
+  let cl = Kv.client ~net ~server:srv ~host:0 () in
+  let size = ref 0 in
+  Kv.get cl ~key:"missing" ~on_reply:(fun r -> size := r.Kv.response_bytes) ();
+  Net.run net;
+  check_int "default value size" 2048 !size
+
+let test_kv_many_operations () =
+  let net, _ = star 2 in
+  let srv = Kv.server ~net ~host:1 () in
+  let cl = Kv.client ~net ~server:srv ~host:0 () in
+  for i = 0 to 49 do
+    let key = Printf.sprintf "k%d" (i mod 7) in
+    if i mod 3 = 0 then Kv.put cl ~key ~size:(1000 + i) ()
+    else Kv.get cl ~key ()
+  done;
+  Net.run net;
+  check_int "all 50 completed" 50 (List.length (Kv.results cl));
+  check_int "none pending" 0 (Kv.outstanding cl)
+
+(* GET prioritization: with the client uplink congested by PUT uploads,
+   the App_priority function keeps GET latency low (the paper's opening
+   application-QoS example). *)
+let kv_qos_run ~policy =
+  let net, hosts = star ~rate_bps:1e9 2 in
+  let client_host = List.nth hosts 0 in
+  let srv = Kv.server ~net ~host:1 ~default_value_bytes:1000 () in
+  let cl = Kv.client ~net ~server:srv ~host:0 () in
+  (* The stage needs a GET/PUT rule-set so packets carry classes. *)
+  (match
+     Stage.Api.create_stage_rule (Kv.stage cl) ~ruleset:"r1"
+       ~classifier:[ ("msg_type", Classifier.eq_str "GET") ]
+       ~class_name:"GET" ~metadata_fields:[ "msg_type"; "msg_size" ]
+   with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  (match
+     Stage.Api.create_stage_rule (Kv.stage cl) ~ruleset:"r1"
+       ~classifier:[ ("msg_type", Classifier.eq_str "PUT") ]
+       ~class_name:"PUT" ~metadata_fields:[ "msg_type"; "msg_size" ]
+   with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  if policy then begin
+    let e = Enclave.create ~host:0 () in
+    (match
+       Eden_functions.App_priority.install e ~match_msg_type:"GET" ~match_priority:6
+         ~other_priority:1
+     with
+    | Ok () -> ()
+    | Error m -> failwith m);
+    Host.set_enclave client_host e
+  end;
+  (* Closed-loop bulk PUTs keep the uplink busy... *)
+  let rec put_loop key () =
+    Kv.put cl ~key ~size:500_000 ~on_reply:(fun _ -> put_loop key ()) ()
+  in
+  put_loop "bulk1" ();
+  put_loop "bulk2" ();
+  (* ...while periodic GETs measure request latency. *)
+  let rec get_loop i =
+    if i < 30 then
+      Event.schedule_at (Net.event net) (Time.mul (Time.ms 3) i) (fun () ->
+          Kv.get cl ~key:"hot" ();
+          get_loop (i + 1))
+  in
+  get_loop 1;
+  Net.run ~until:(Time.ms 120) net;
+  let lats = Kv.get_latencies_us cl in
+  check_bool "enough gets completed" true (List.length lats >= 20);
+  List.fold_left ( +. ) 0.0 lats /. float_of_int (List.length lats)
+
+let test_kv_get_prioritization () =
+  let without = kv_qos_run ~policy:false in
+  let with_policy = kv_qos_run ~policy:true in
+  check_bool
+    (Printf.sprintf "GET latency %.0fus (policy) << %.0fus (fifo)" with_policy without)
+    true
+    (with_policy < without /. 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Rpc plumbing *)
+
+module Rpc = Eden_workloads.Rpc
+
+let test_rpc_basics () =
+  let net, _ = star 2 in
+  let calls = ref [] in
+  let endpoint =
+    {
+      Rpc.host = 1;
+      port = 9999;
+      handler =
+        (fun md ->
+          calls := Metadata.find_str "what" md :: !calls;
+          1234);
+      response_metadata = None;
+    }
+  in
+  let cl = Rpc.connect ~net ~endpoint ~client_host:0 () in
+  let replies = ref [] in
+  for i = 1 to 5 do
+    Rpc.call cl
+      ~metadata:(Metadata.add "what" (Metadata.str (string_of_int i)) Metadata.empty)
+      ~on_reply:(fun r -> replies := r :: !replies)
+      ~request_bytes:100 ()
+  done;
+  Net.run net;
+  check_int "handler saw all" 5 (List.length !calls);
+  check_int "all replied" 5 (List.length !replies);
+  check_int "completed counter" 5 (Rpc.completed cl);
+  check_int "none outstanding" 0 (Rpc.outstanding cl);
+  List.iter
+    (fun (r : Rpc.reply) ->
+      check_int "response size" 1234 r.Rpc.response_bytes;
+      check_bool "latency > 0" true (Time.compare r.Rpc.latency Time.zero > 0))
+    !replies
+
+let test_rpc_concurrent_interleaving () =
+  (* Replies match their calls even when many are outstanding. *)
+  let net, _ = star 2 in
+  let endpoint =
+    {
+      Rpc.host = 1;
+      port = 9998;
+      handler =
+        (fun md ->
+          Int64.to_int (Option.value ~default:1L (Metadata.find_int "want" md)));
+      response_metadata = None;
+    }
+  in
+  let cl = Rpc.connect ~net ~endpoint ~client_host:0 () in
+  let mismatches = ref 0 in
+  for i = 1 to 20 do
+    let want = 100 * i in
+    Rpc.call cl
+      ~metadata:(Metadata.add "want" (Metadata.int want) Metadata.empty)
+      ~on_reply:(fun r -> if r.Rpc.response_bytes <> want then incr mismatches)
+      ~request_bytes:64 ()
+  done;
+  Net.run net;
+  check_int "all matched" 0 !mismatches;
+  check_int "all done" 20 (Rpc.completed cl)
+
+(* ------------------------------------------------------------------ *)
+(* HTTP application *)
+
+module Http = Eden_workloads.Http_app
+
+let test_http_routes () =
+  let net, _ = star 2 in
+  let srv = Http.server ~net ~host:1 ~default_response_bytes:4000 () in
+  Http.set_route srv ~prefix:"/api/" ~response_bytes:500;
+  Http.set_route srv ~prefix:"/static/" ~response_bytes:200_000;
+  Http.set_route srv ~prefix:"/api/v2/" ~response_bytes:900;
+  let cl = Http.client ~net ~server:srv ~host:0 () in
+  let sizes = Hashtbl.create 4 in
+  List.iter
+    (fun url ->
+      Http.fetch cl ~url ~on_reply:(fun r -> Hashtbl.replace sizes url r.Http.response_bytes) ())
+    [ "/api/users"; "/api/v2/users"; "/static/logo.png"; "/unknown" ];
+  Net.run net;
+  check_int "api route" 500 (Hashtbl.find sizes "/api/users");
+  check_int "longest prefix wins" 900 (Hashtbl.find sizes "/api/v2/users");
+  check_int "static route" 200_000 (Hashtbl.find sizes "/static/logo.png");
+  check_int "default" 4000 (Hashtbl.find sizes "/unknown");
+  check_int "none pending" 0 (Http.outstanding cl)
+
+let test_http_url_classification_drives_priorities () =
+  (* Two clients: one fetches /api/ endpoints, the other hammers /static/
+     bundles.  Both servers' responses share the server uplink; the
+     server-side enclave prioritizes responses classified http.urls.API
+     by the server's own stage (paper Table 2, HTTP-library row). *)
+  let run ~policy =
+    let net, hosts = star ~rate_bps:1e9 3 in
+    let server_host = List.nth hosts 2 in
+    let srv = Http.server ~net ~host:2 ~default_response_bytes:1000 () in
+    Http.set_route srv ~prefix:"/api/" ~response_bytes:600;
+    Http.set_route srv ~prefix:"/static/" ~response_bytes:400_000;
+    (* The controller programs the server's stage: API responses get a
+       class of their own. *)
+    (match
+       Stage.Api.create_stage_rule (Http.server_stage srv) ~ruleset:"urls"
+         ~classifier:[ ("url", Classifier.Prefix "/api/") ]
+         ~class_name:"API" ~metadata_fields:[ "url"; "msg_type" ]
+     with
+    | Ok _ -> ()
+    | Error m -> failwith m);
+    let api_client = Http.client ~net ~server:srv ~host:0 () in
+    let bulk_client = Http.client ~net ~server:srv ~host:1 () in
+    if policy then begin
+      let e = Enclave.create ~host:2 () in
+      (match
+         Eden_functions.App_priority.install e
+           ~pattern:(Option.get (Eden_base.Class_name.Pattern.of_string "http.urls.API"))
+           ~match_msg_type:"RESPONSE" ~match_priority:6 ~other_priority:6
+       with
+      | Ok () -> ()
+      | Error m -> failwith m);
+      Host.set_enclave server_host e
+    end;
+    (* Saturate the server uplink with static responses... *)
+    let rec static_loop () =
+      Http.fetch bulk_client ~url:"/static/bundle.js" ~on_reply:(fun _ -> static_loop ()) ()
+    in
+    static_loop ();
+    static_loop ();
+    (* ...and sample API latency. *)
+    let rec api_loop i =
+      if i < 25 then
+        Event.schedule_at (Net.event net) (Time.mul (Time.ms 3) i) (fun () ->
+            Http.fetch api_client ~url:"/api/cart" ();
+            api_loop (i + 1))
+    in
+    api_loop 1;
+    Net.run ~until:(Time.ms 100) net;
+    let lats = Http.latencies_us ~url_prefix:"/api/" api_client in
+    check_bool "api calls completed" true (List.length lats >= 15);
+    List.fold_left ( +. ) 0.0 lats /. float_of_int (List.length lats)
+  in
+  let without = run ~policy:false in
+  let with_policy = run ~policy:true in
+  check_bool
+    (Printf.sprintf "api latency %.0fus (policy) << %.0fus (fifo)" with_policy without)
+    true
+    (with_policy < without /. 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Storage substrate *)
+
+let test_storage_isolated_read_throughput () =
+  let net, _ = star ~rate_bps:1e9 2 in
+  let srv = Storage.server ~net ~host:1 ~disk_rate_bps:1e9 in
+  let reader = Storage.read_client ~net ~server:srv ~host:0 ~tenant:0 () in
+  Storage.start reader ~at:Time.zero;
+  Net.run ~until:(Time.ms 200) net;
+  let mbps =
+    Storage.throughput_mbytes_per_sec reader ~since:(Time.ms 50) ~now:(Time.ms 200)
+  in
+  check_bool (Printf.sprintf "read throughput %.0f MB/s near line rate" mbps) true
+    (mbps > 100.0 && mbps < 130.0)
+
+let test_storage_reads_starve_writes_fifo () =
+  let net, _ = star ~rate_bps:1e9 3 in
+  let srv = Storage.server ~net ~host:2 ~disk_rate_bps:1e9 in
+  let reader = Storage.read_client ~net ~server:srv ~host:0 ~tenant:0 () in
+  let writer = Storage.write_client ~net ~server:srv ~host:1 ~tenant:1 () in
+  Storage.start reader ~at:Time.zero;
+  Storage.start writer ~at:Time.zero;
+  Net.run ~until:(Time.ms 200) net;
+  let r = Storage.throughput_mbytes_per_sec reader ~since:(Time.ms 50) ~now:(Time.ms 200) in
+  let w = Storage.throughput_mbytes_per_sec writer ~since:(Time.ms 50) ~now:(Time.ms 200) in
+  check_bool (Printf.sprintf "reads dominate (%.0f vs %.0f)" r w) true (r > 3.0 *. w)
+
+let test_storage_ops_counted () =
+  let net, _ = star ~rate_bps:1e9 2 in
+  let srv = Storage.server ~net ~host:1 ~disk_rate_bps:1e9 in
+  let writer = Storage.write_client ~net ~server:srv ~host:0 ~tenant:0 ~outstanding:2 () in
+  Storage.start writer ~at:Time.zero;
+  Net.run ~until:(Time.ms 50) net;
+  check_bool "ops completed" true (Storage.ops_completed writer > 10);
+  check_int "bytes consistent" (Storage.ops_completed writer * Storage.default_op_bytes)
+    (Storage.bytes_completed writer)
+
+let () =
+  Alcotest.run "eden_workloads"
+    [
+      ( "memcached",
+        [
+          Alcotest.test_case "get/put roundtrip" `Quick test_kv_get_put_roundtrip;
+          Alcotest.test_case "default value" `Quick test_kv_get_default_value;
+          Alcotest.test_case "many operations" `Quick test_kv_many_operations;
+          Alcotest.test_case "GET prioritization" `Quick test_kv_get_prioritization;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "basics" `Quick test_rpc_basics;
+          Alcotest.test_case "interleaving" `Quick test_rpc_concurrent_interleaving;
+        ] );
+      ( "http",
+        [
+          Alcotest.test_case "routes" `Quick test_http_routes;
+          Alcotest.test_case "url classification" `Quick
+            test_http_url_classification_drives_priorities;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "isolated read throughput" `Quick
+            test_storage_isolated_read_throughput;
+          Alcotest.test_case "reads starve writes" `Quick
+            test_storage_reads_starve_writes_fifo;
+          Alcotest.test_case "ops counted" `Quick test_storage_ops_counted;
+        ] );
+    ]
