@@ -6,8 +6,8 @@
      dune exec bench/main.exe -- fig9 fig11   -- selected sections
      dune exec bench/main.exe -- quick        -- everything, scaled down
 
-   Sections: table1 table2 listings footprint micro fig9 fig10 fig11
-             fig12 ablations *)
+   Sections: table1 table2 listings footprint micro analysis fig9 fig10
+             fig11 fig12 ablations *)
 
 module Time = Eden_base.Time
 module Metadata = Eden_base.Metadata
@@ -106,6 +106,7 @@ let make_interp_env p =
            | "Knocks" -> [| 1111L; 2222L; 3333L |]
            | "State" -> Array.make 16 0L
            | "ReplicaLabels" -> [| 301L; 302L |]
+           | "Table" -> Array.init 64 (fun i -> Int64.of_int (i * 7))
            | _ -> [||])
          p.P.array_slots)
 
@@ -212,6 +213,88 @@ let micro () =
         Eden_enclave.Cost.os_model.Eden_enclave.Cost.per_step_ns
     | Error _ -> ())
   | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Install-time analysis: analyzer cost and the unchecked-path payoff *)
+
+(* A synthetic subject where proved array loads dominate: a 64-entry
+   table scan.  The paper functions touch their arrays a handful of times
+   per packet, so the per-access saving drowns in interpreter dispatch;
+   this one makes it visible. *)
+let table_scan_program () =
+  let a =
+    let open Eden_lang.Dsl in
+    action "table_scan"
+      (let_mut "i" (int 0) @@ fun i ->
+       let_mut "acc" (int 0) @@ fun acc ->
+       while_ (i < glob_arr_len "Table")
+         (assign "acc" (acc + glob_arr "Table" i) ^^ assign "i" (i + int 1))
+       ^^ set_pkt "Priority" (acc % int 8))
+  in
+  let schema =
+    Eden_lang.Schema.with_standard_packet
+      ~global_arrays:[ Eden_lang.Schema.array ~min_length:64 "Table" ] ()
+  in
+  match Eden_lang.Compile.compile schema a with
+  | Ok p -> p
+  | Error e -> invalid_arg (Eden_lang.Compile.error_to_string e)
+
+let analysis () =
+  section_header
+    "Install-time analysis: analyzer cost and the unchecked fast path";
+  let open Bechamel in
+  let analyze_test name schema action =
+    Test.make ~name:("analyze/" ^ name)
+      (Staged.stage (fun () -> ignore (Eden_analysis.Analyze.run schema action)))
+  in
+  let interp_pair name program =
+    let bounds, hardened = Eden_analysis.Bounds.of_program program in
+    let t p tag =
+      let env = make_interp_env p in
+      let scratch = Interp.make_scratch p in
+      let rng = Eden_base.Rng.create 3L in
+      Test.make ~name:(Printf.sprintf "interp/%s (%s)" name tag)
+        (Staged.stage (fun () ->
+             ignore (Interp.run ~scratch p ~env ~now:(Eden_base.Time.us 5) ~rng)))
+    in
+    (bounds, [ t program "checked"; t hardened "unchecked" ])
+  in
+  let subjects =
+    [
+      ("wcmp", Eden_functions.Wcmp.program ());
+      ("pias", Eden_functions.Pias.program ());
+      ("port_knocking", Eden_functions.Port_knocking.program ());
+      ("table_scan", table_scan_program ());
+    ]
+  in
+  let pairs = List.map (fun (n, p) -> (n, interp_pair n p)) subjects in
+  let tests =
+    analyze_test "wcmp" Eden_functions.Wcmp.schema Eden_functions.Wcmp.action
+    :: analyze_test "pias" Eden_functions.Pias.schema Eden_functions.Pias.action
+    :: analyze_test "sff" Eden_functions.Sff.schema Eden_functions.Sff.action
+    :: List.concat_map (fun (_, (_, ts)) -> ts) pairs
+  in
+  let results = run_bechamel tests in
+  Printf.printf "%-42s %14s\n" "benchmark" "ns/iteration";
+  Printf.printf "%s\n" (String.make 58 '-');
+  List.iter (fun (name, ns) -> Printf.printf "%-42s %14.1f\n" name ns) results;
+  Printf.printf "\nunchecked-path payoff (bounds proofs -> no per-access checks):\n";
+  List.iter
+    (fun (name, (bounds, _)) ->
+      match
+        ( List.assoc_opt (Printf.sprintf "micro/interp/%s (checked)" name) results,
+          List.assoc_opt (Printf.sprintf "micro/interp/%s (unchecked)" name) results
+        )
+      with
+      | Some c, Some u ->
+        Printf.printf
+          "  %-14s %d/%d accesses proved: checked %7.1f ns -> unchecked %7.1f ns \
+           (%+.1f%%)\n"
+          name bounds.Eden_analysis.Bounds.proved bounds.Eden_analysis.Bounds.total c
+          u
+          ((u -. c) /. c *. 100.0)
+      | _ -> ())
+    pairs
 
 (* ------------------------------------------------------------------ *)
 (* Ablations *)
@@ -428,6 +511,7 @@ let () =
     Footprint.print (Footprint.run ())
   end;
   if want "micro" then micro ();
+  if want "analysis" then analysis ();
   if want "fig9" then begin
     section_header "Figure 9 (case study 1: flow scheduling)";
     let params =

@@ -92,8 +92,13 @@ let compile_cmd =
     match Eden_lang.Compile.compile schema action with
     | Ok program ->
       Format.printf "-- bytecode --@.%a@." Eden_bytecode.Program.pp program;
-      (match Eden_bytecode.Verifier.max_stack_depth program with
-      | Ok depth -> Printf.printf "verified; max operand stack %d values\n" depth
+      (match Eden_bytecode.Verifier.analyse program with
+      | Ok an ->
+        Printf.printf "verified; max operand stack %d values\n"
+          an.Eden_bytecode.Verifier.an_max_stack;
+        List.iter
+          (fun pc -> Printf.printf "warning: unreachable instruction at pc %d\n" pc)
+          an.Eden_bytecode.Verifier.an_unreachable
       | Error e ->
         Printf.printf "verifier: %s\n" (Eden_bytecode.Verifier.error_to_string e));
       `Ok ()
@@ -183,6 +188,58 @@ let parse_cmd =
     Term.(ret (const run $ file_arg $ run_packets))
 
 (* ------------------------------------------------------------------ *)
+(* analyze: the install-time static analysis pipeline *)
+
+let analyze_cmd =
+  let target_arg =
+    let doc =
+      Printf.sprintf
+        "Built-in function (%s) or a source file (F#-style syntax)."
+        (String.concat ", " (List.map fst functions))
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"FUNCTION|FILE")
+  in
+  let resolve target =
+    match List.assoc_opt target functions with
+    | Some (action, schema) -> Ok (action, schema)
+    | None ->
+      if not (Sys.file_exists target) then
+        Error
+          (Printf.sprintf "%s: not a built-in function and no such file" target)
+      else begin
+        let ic = open_in target in
+        let n = in_channel_length ic in
+        let src = really_input_string ic n in
+        close_in ic;
+        match
+          Eden_lang.Parser.parse_action
+            ~name:(Filename.remove_extension (Filename.basename target))
+            src
+        with
+        | Error e -> Error (Eden_lang.Parser.error_to_string e)
+        | Ok action -> Ok (action, Eden_lang.Schema.infer action)
+      end
+  in
+  let run target =
+    match resolve target with
+    | Error msg -> `Error (false, msg)
+    | Ok (action, schema) -> (
+      match Eden_analysis.Analyze.run schema action with
+      | Error e -> `Error (false, Eden_analysis.Analyze.error_to_string e)
+      | Ok (report, _hardened) ->
+        Format.printf "%a@." Eden_analysis.Report.pp report;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the install-time static analysis on an action function: effect \
+          footprint and concurrency class, AST optimization, bounds proofs for \
+          array accesses (unlocking unchecked interpreter opcodes) and \
+          worst-case cost versus each placement's admission budget")
+    Term.(ret (const run $ target_arg))
+
+(* ------------------------------------------------------------------ *)
 (* Experiments *)
 
 let fig9_cmd =
@@ -250,6 +307,7 @@ let main_cmd =
       listings_cmd;
       footprint_cmd;
       compile_cmd;
+      analyze_cmd;
       parse_cmd;
       fig9_cmd;
       fig10_cmd;

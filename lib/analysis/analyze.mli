@@ -1,0 +1,23 @@
+(** The install-time analysis pipeline (effects → optimize → compile →
+    bounds-harden → re-verify → cost).
+
+    [run schema action] returns the full {!Report.t} plus the hardened
+    program — the one a controller should actually ship to enclaves:
+    semantically identical to compiling [action] directly, but with
+    optimized code, proved array accesses rewritten to unchecked opcodes
+    and a strict verifier pass already survived. *)
+
+type error =
+  | Rejected of string list
+      (** Writes to read-only state or undeclared state, by name. *)
+  | Type_error of Eden_lang.Typecheck.error
+  | Compile_error of Eden_lang.Compile.error
+  | Verifier_error of Eden_bytecode.Verifier.error
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val run :
+  Eden_lang.Schema.t ->
+  Eden_lang.Ast.t ->
+  (Report.t * Eden_bytecode.Program.t, error) result

@@ -1,0 +1,23 @@
+(** Bounds analysis: which array accesses are provably in bounds.
+
+    A thin reporting layer over {!Eden_bytecode.Absint.harden}: the
+    interval abstract interpreter proves [Gaload]/[Gastore] indices in
+    bounds (from schema [min_length] contracts and dominating length
+    guards) and rewrites them to unchecked opcodes; this module records
+    the per-access outcome for the analysis report. *)
+
+type access = {
+  b_pc : int;  (** In the {e hardened} program. *)
+  b_slot : int;
+  b_array : string;
+  b_store : bool;
+  b_proved : bool;  (** Proved accesses skip the interpreter's index check. *)
+}
+
+type t = { accesses : access list; proved : int; total : int }
+
+val of_program : Eden_bytecode.Program.t -> t * Eden_bytecode.Program.t
+(** Returns the report and the hardened program (unchanged when nothing
+    was proved). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** Effect analysis: the state footprint of an action function.
+
+    Computed from the AST at install time, the footprint drives two
+    decisions the paper attributes to type annotations (§3.4.4):
+
+    - {b concurrency}: a function that never writes shared state can run
+      on many packets in parallel; message-state writers serialise per
+      message; global-state writers run serially.
+    - {b rejection}: writes to state the schema declares [Read_only], or
+      touches on undeclared state, are install-time errors rather than
+      runtime faults. *)
+
+type access = [ `Read | `Write ]
+
+type footprint = {
+  fields : (Eden_lang.Ast.entity * string * access) list;
+  arrays : (Eden_lang.Ast.entity * string * access) list;
+  uses_rand : bool;
+  uses_clock : bool;
+  uses_hash : bool;
+}
+
+val of_action : Eden_lang.Ast.t -> footprint
+
+val concurrency : footprint -> [ `Parallel | `Per_message | `Serial ]
+(** Same decision {!Eden_enclave.Enclave.concurrency_of} makes from the
+    compiled program's slot accesses, available before compilation. *)
+
+val concurrency_to_string : [ `Parallel | `Per_message | `Serial ] -> string
+
+val diagnostics : Eden_lang.Schema.t -> Eden_lang.Ast.t -> string list
+(** Human-readable install blockers: writes to read-only state and uses
+    of undeclared state.  Empty for a well-typed action (the type checker
+    enforces the same rules); non-empty output pinpoints the offending
+    state by name for controller diagnostics. *)
+
+val pp_footprint : Format.formatter -> footprint -> unit

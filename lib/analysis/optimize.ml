@@ -1,0 +1,78 @@
+module Ast = Eden_lang.Ast
+
+type stats = { nodes_before : int; nodes_after : int }
+
+let count_action (a : Ast.t) =
+  let count acc e = Ast.fold_expr (fun n _ -> n + 1) acc e in
+  List.fold_left (fun acc fd -> count acc fd.Ast.fn_body) (count 0 a.Ast.af_body)
+    a.Ast.af_funs
+
+(* Effect-free and fault-free: safe to delete when the value is unused.
+   [Div]/[Rem] can fault, [Arr_get] can fault on a bad index, [Rand] both
+   faults and consumes entropy, [Call]/[While] may not terminate. *)
+let rec pure (e : Ast.expr) =
+  match e with
+  | Ast.Int _ | Ast.Bool _ | Ast.Unit | Ast.Var _ | Ast.Field _ | Ast.Arr_len _ -> true
+  | Ast.Binop ((Ast.Div | Ast.Rem), _, _) -> false
+  | Ast.Binop (_, a, b) -> pure a && pure b
+  | Ast.Unop (_, a) -> pure a
+  | Ast.If (c, t, f) -> pure c && pure t && pure f
+  | Ast.Seq (a, b) -> pure a && pure b
+  | _ -> false
+
+(* Bottom-up rewrite: children first, then [f] at the node. *)
+let rec map_expr f (e : Ast.expr) =
+  let r = map_expr f in
+  let e =
+    match e with
+    | Ast.Int _ | Ast.Bool _ | Ast.Unit | Ast.Var _ | Ast.Field _ | Ast.Arr_len _
+    | Ast.Clock ->
+      e
+    | Ast.Arr_get (ent, n, i) -> Ast.Arr_get (ent, n, r i)
+    | Ast.Let l -> Ast.Let { l with rhs = r l.rhs; body = r l.body }
+    | Ast.Assign (x, v) -> Ast.Assign (x, r v)
+    | Ast.Set_field (ent, n, v) -> Ast.Set_field (ent, n, r v)
+    | Ast.Arr_set (ent, n, i, v) -> Ast.Arr_set (ent, n, r i, r v)
+    | Ast.If (c, t, e') -> Ast.If (r c, r t, r e')
+    | Ast.While (c, b) -> Ast.While (r c, r b)
+    | Ast.Seq (a, b) -> Ast.Seq (r a, r b)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, r a, r b)
+    | Ast.Unop (op, a) -> Ast.Unop (op, r a)
+    | Ast.Call (fn, args) -> Ast.Call (fn, List.map r args)
+    | Ast.Rand b -> Ast.Rand (r b)
+    | Ast.Hash (a, b) -> Ast.Hash (r a, r b)
+  in
+  f e
+
+let simplify_node (e : Ast.expr) =
+  match e with
+  (* Dead code: a loop that never runs, a statement with no effect. *)
+  | Ast.While (Ast.Bool false, _) -> Ast.Unit
+  | Ast.Seq (a, b) when pure a -> b
+  | Ast.Seq (a, Ast.Unit) when not (pure a) -> a
+  (* [fold_consts] handles constant conditions before this pass; loop
+     unswitching above can re-expose them. *)
+  | Ast.If (Ast.Bool true, t, _) -> t
+  | Ast.If (Ast.Bool false, _, f) -> f
+  (* Arithmetic identities (sound under wrapping). *)
+  | Ast.Binop (Ast.Add, x, Ast.Int 0L) | Ast.Binop (Ast.Add, Ast.Int 0L, x) -> x
+  | Ast.Binop (Ast.Sub, x, Ast.Int 0L) -> x
+  | Ast.Binop (Ast.Mul, x, Ast.Int 1L) | Ast.Binop (Ast.Mul, Ast.Int 1L, x) -> x
+  | Ast.Binop (Ast.Div, x, Ast.Int 1L) -> x
+  | Ast.Binop ((Ast.Bor | Ast.Bxor), x, Ast.Int 0L)
+  | Ast.Binop ((Ast.Bor | Ast.Bxor), Ast.Int 0L, x)
+  | Ast.Binop ((Ast.Shl | Ast.Shr), x, Ast.Int 0L) ->
+    x
+  | e -> e
+
+let run (a : Ast.t) =
+  let opt e = map_expr simplify_node (Eden_lang.Compile.fold_consts e) in
+  let a' =
+    {
+      a with
+      Ast.af_funs =
+        List.map (fun fd -> { fd with Ast.fn_body = opt fd.Ast.fn_body }) a.Ast.af_funs;
+      af_body = opt a.Ast.af_body;
+    }
+  in
+  (a', { nodes_before = count_action a; nodes_after = count_action a' })

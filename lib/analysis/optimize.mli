@@ -1,0 +1,16 @@
+(** Install-time AST optimizer.
+
+    Runs before compilation: constant folding (via
+    {!Eden_lang.Compile.fold_consts}, sharing the interpreter's exact
+    wrapping [Int64] semantics), dead-branch and dead-loop elimination,
+    removal of effect-free statements, and arithmetic identities.  Every
+    rewrite preserves observable behaviour — including runtime faults
+    (division by zero, array bounds) and non-termination, which is why
+    e.g. [x * 0] is {e not} rewritten unless [x] is provably pure. *)
+
+type stats = { nodes_before : int; nodes_after : int }
+
+val run : Eden_lang.Ast.t -> Eden_lang.Ast.t * stats
+
+val count_action : Eden_lang.Ast.t -> int
+(** AST nodes across the body and all auxiliary functions. *)

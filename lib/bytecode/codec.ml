@@ -1,4 +1,4 @@
-let version = 1
+let version = 2
 let magic = "EDBC"
 
 (* ------------------------------------------------------------------ *)
@@ -57,13 +57,16 @@ let opcode_tag : Opcode.t -> int = function
   | Opcode.Clock -> 35
   | Opcode.Hashmix -> 36
   | Opcode.Halt -> 37
+  | Opcode.Gaload_unsafe _ -> 38
+  | Opcode.Gastore_unsafe _ -> 39
 
 let put_opcode b op =
   put_u8 b (opcode_tag op);
   match op with
   | Opcode.Push v -> put_i64 b v
   | Opcode.Load i | Opcode.Store i | Opcode.Jmp i | Opcode.Jz i | Opcode.Jnz i
-  | Opcode.Gaload i | Opcode.Gastore i | Opcode.Galen i ->
+  | Opcode.Gaload i | Opcode.Gastore i | Opcode.Galen i
+  | Opcode.Gaload_unsafe i | Opcode.Gastore_unsafe i ->
     put_u32 b i
   | _ -> ()
 
@@ -89,7 +92,8 @@ let encode (p : Program.t) =
     (fun (a : Program.array_slot) ->
       put_string b a.Program.a_name;
       put_u8 b (entity_code a.Program.a_entity);
-      put_u8 b (access_code a.Program.a_access))
+      put_u8 b (access_code a.Program.a_access);
+      put_u16 b a.Program.a_min_len)
     p.Program.array_slots;
   put_u32 b (Array.length p.Program.code);
   Array.iter (put_opcode b) p.Program.code;
@@ -201,6 +205,8 @@ let get_opcode r =
   | 35 -> Opcode.Clock
   | 36 -> Opcode.Hashmix
   | 37 -> Opcode.Halt
+  | 38 -> Opcode.Gaload_unsafe (get_u32 r)
+  | 39 -> Opcode.Gastore_unsafe (get_u32 r)
   | t -> derr r (Printf.sprintf "bad opcode tag %d" t)
 
 let max_reasonable = 1 lsl 20
@@ -239,7 +245,8 @@ let decode data =
           let a_name = get_string r in
           let a_entity = entity_of_code r (get_u8 r) in
           let a_access = access_of_code r (get_u8 r) in
-          { Program.a_name; a_entity; a_access })
+          let a_min_len = get_u16 r in
+          { Program.a_name; a_entity; a_access; a_min_len })
     in
     let n_code = get_u32 r in
     check_count r "instruction" n_code;

@@ -9,6 +9,14 @@ let make_env (p : Program.t) ~scalars ~arrays =
     invalid_arg
       (Printf.sprintf "Interp.make_env: %d arrays supplied, program %S declares %d"
          (Array.length arrays) p.name (Array.length p.array_slots));
+  Array.iteri
+    (fun i (a : Program.array_slot) ->
+      if Array.length arrays.(i) < a.a_min_len then
+        invalid_arg
+          (Printf.sprintf
+             "Interp.make_env: array %S has %d elements, program %S requires >= %d"
+             a.a_name (Array.length arrays.(i)) p.name a.a_min_len))
+    p.array_slots;
   { scalars; arrays }
 
 let zero_env (p : Program.t) ~array_lengths =
@@ -25,6 +33,7 @@ type fault =
   | Operand_stack_overflow of { pc : int }
   | Operand_stack_underflow of { pc : int }
   | Bad_random_bound of { pc : int; bound : int64 }
+  | Undersized_env_array of { slot : int; length : int; min_len : int }
 
 let fault_to_string = function
   | Division_by_zero { pc } -> Printf.sprintf "pc %d: division by zero" pc
@@ -40,6 +49,9 @@ let fault_to_string = function
   | Operand_stack_underflow { pc } -> Printf.sprintf "pc %d: operand stack underflow" pc
   | Bad_random_bound { pc; bound } ->
     Printf.sprintf "pc %d: rand bound %Ld not positive" pc bound
+  | Undersized_env_array { slot; length; min_len } ->
+    Printf.sprintf "env array slot %d has %d elements, proof requires >= %d" slot
+      length min_len
 
 let pp_fault fmt f = Format.pp_print_string fmt (fault_to_string f)
 
@@ -208,6 +220,15 @@ let run ?scratch (p : Program.t) ~env ~now ~rng =
         let arr = env_array s in
         check_index arr i;
         arr.(i) <- v
+      | Opcode.Gaload_unsafe s ->
+        (* Bounds proved statically (verifier re-checks the proof and the
+           runtime enforces [a_min_len]), so skip [check_index]. *)
+        let i = Int64.to_int (pop ()) in
+        push (Array.unsafe_get (env_array s) i)
+      | Opcode.Gastore_unsafe s ->
+        let v = pop () in
+        let i = Int64.to_int (pop ()) in
+        Array.unsafe_set (env_array s) i v
       | Opcode.Galen s -> push (Int64.of_int (Array.length (env_array s)))
       | Opcode.Newarr -> push (alloc (Int64.to_int (pop ())))
       | Opcode.Aload ->

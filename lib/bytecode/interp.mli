@@ -17,7 +17,8 @@ type env = {
 }
 
 val make_env : Program.t -> scalars:int64 array -> arrays:int64 array array -> env
-(** Validates counts against the program's slot tables.
+(** Validates counts against the program's slot tables and each array's
+    length against its slot's [a_min_len].
     @raise Invalid_argument on a mismatch. *)
 
 val zero_env : Program.t -> array_lengths:int array -> env
@@ -33,6 +34,10 @@ type fault =
   | Operand_stack_overflow of { pc : int }
   | Operand_stack_underflow of { pc : int }
   | Bad_random_bound of { pc : int; bound : int64 }
+  | Undersized_env_array of { slot : int; length : int; min_len : int }
+      (** Raised by the enclave before a run, not by the interpreter: the
+          environment broke an [a_min_len] promise a bounds proof relies
+          on, so the invocation is refused (fail-open). *)
 
 val fault_to_string : fault -> string
 val pp_fault : Format.formatter -> fault -> unit

@@ -16,7 +16,12 @@ type scalar_slot = {
   s_local : int;
 }
 
-type array_slot = { a_name : string; a_entity : entity; a_access : access }
+type array_slot = {
+  a_name : string;
+  a_entity : entity;
+  a_access : access;
+  a_min_len : int;
+}
 
 type t = {
   name : string;
@@ -70,6 +75,52 @@ let find_array t name =
     t.array_slots;
   !found
 
+(* Splice out instructions never scheduled by the reachability walk and
+   remap the surviving jump targets.  Any target a *reachable* jump
+   names is itself reachable (or is [len], the fall-off-the-end pc), so
+   remapping is total over the code that remains. *)
+let strip_unreachable t =
+  let len = Array.length t.code in
+  if len = 0 then t
+  else begin
+    let reached = Array.make len false in
+    let pending = Queue.create () in
+    let schedule pc = if pc >= 0 && pc < len && not reached.(pc) then begin
+        reached.(pc) <- true;
+        Queue.add pc pending
+      end
+    in
+    schedule 0;
+    while not (Queue.is_empty pending) do
+      let pc = Queue.pop pending in
+      let op = t.code.(pc) in
+      (match Opcode.jump_target op with Some tgt -> schedule tgt | None -> ());
+      if not (Opcode.is_terminator op) then schedule (pc + 1)
+    done;
+    if Array.for_all Fun.id reached then t
+    else begin
+      (* new_pc.(pc) = index of pc's instruction after splicing. *)
+      let new_pc = Array.make (len + 1) 0 in
+      let n = ref 0 in
+      for pc = 0 to len do
+        new_pc.(pc) <- !n;
+        if pc < len && reached.(pc) then incr n
+      done;
+      let remap op =
+        match op with
+        | Opcode.Jmp tgt -> Opcode.Jmp new_pc.(tgt)
+        | Opcode.Jz tgt -> Opcode.Jz new_pc.(tgt)
+        | Opcode.Jnz tgt -> Opcode.Jnz new_pc.(tgt)
+        | op -> op
+      in
+      let code = Array.make !n Opcode.Halt in
+      for pc = 0 to len - 1 do
+        if reached.(pc) then code.(new_pc.(pc)) <- remap t.code.(pc)
+      done;
+      { t with code }
+    end
+  end
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>program %S (locals=%d stack<=%d heap<=%d steps<=%d)@,"
     t.name t.n_locals t.stack_limit t.heap_limit t.step_limit;
@@ -80,8 +131,9 @@ let pp fmt t =
     t.scalar_slots;
   Array.iteri
     (fun i a ->
-      Format.fprintf fmt "  array  %-28s %s %s -> slot %d@," a.a_name
-        (entity_to_string a.a_entity) (access_to_string a.a_access) i)
+      Format.fprintf fmt "  array  %-28s %s %s -> slot %d%s@," a.a_name
+        (entity_to_string a.a_entity) (access_to_string a.a_access) i
+        (if a.a_min_len > 0 then Printf.sprintf " (len>=%d)" a.a_min_len else ""))
     t.array_slots;
   Array.iteri (fun i op -> Format.fprintf fmt "  %4d: %s@," i (Opcode.to_string op)) t.code;
   Format.fprintf fmt "@]"

@@ -25,6 +25,11 @@ type array_slot = {
   a_name : string;  (** Array name within the entity, e.g. ["Priorities"]. *)
   a_entity : entity;
   a_access : access;
+  a_min_len : int;
+      (** Minimum length the runtime promises for this array (0 = no
+          promise).  Bounds proofs behind [Gaload_unsafe] /
+          [Gastore_unsafe] may rely on it; {!Interp.make_env} and the
+          enclave enforce it before every invocation. *)
 }
 (** Array slots are numbered by their position in [array_slots] and
     addressed by the [Ga*] op-codes. *)
@@ -61,6 +66,11 @@ val make :
   t
 (** [n_locals] defaults to one past the highest local mentioned by the
     code or the scalar slots. *)
+
+val strip_unreachable : t -> t
+(** Remove instructions no control-flow path from pc 0 can reach and
+    remap the surviving jump targets.  Semantics are unchanged; the
+    result passes the verifier's strict (no-unreachable-code) mode. *)
 
 val writes_entity : t -> entity -> bool
 (** Does any slot of this entity have read-write access?  Drives the

@@ -6,6 +6,8 @@ type error =
   | Bad_local of { pc : int; index : int; n_locals : int }
   | Bad_array_slot of { pc : int; slot : int }
   | Readonly_write of { pc : int; slot : int; name : string }
+  | Unreachable_code of { pc : int }
+  | Unproved_unsafe of { pc : int; slot : int }
   | Bad_limits of string
   | Empty_code
 
@@ -22,15 +24,21 @@ let error_to_string = function
   | Bad_array_slot { pc; slot } -> Printf.sprintf "pc %d: no array slot %d" pc slot
   | Readonly_write { pc; slot; name } ->
     Printf.sprintf "pc %d: write to read-only array slot %d (%s)" pc slot name
+  | Unreachable_code { pc } -> Printf.sprintf "pc %d: unreachable instruction" pc
+  | Unproved_unsafe { pc; slot } ->
+    Printf.sprintf "pc %d: unchecked access to array slot %d without a bounds proof" pc
+      slot
   | Bad_limits msg -> Printf.sprintf "bad limits: %s" msg
   | Empty_code -> "empty code"
 
 let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
 
+type analysis = { an_max_stack : int; an_unreachable : int list }
+
 (* Dataflow over instruction indices: every pc must be reached with a single,
    consistent operand-stack depth (same discipline as JVM verification).
    [pc = len] represents normal completion by falling off the end. *)
-let analyse (p : Program.t) =
+let analyse ?(strict = false) (p : Program.t) =
   let open Program in
   let len = Array.length p.code in
   if len = 0 then Error Empty_code
@@ -76,8 +84,9 @@ let analyse (p : Program.t) =
         if depth' > !max_depth then max_depth := depth';
         (match op with
         | Opcode.Load i | Opcode.Store i -> check_local pc i
-        | Opcode.Gaload s | Opcode.Galen s -> check_slot pc ~write:false s
-        | Opcode.Gastore s -> check_slot pc ~write:true s
+        | Opcode.Gaload s | Opcode.Gaload_unsafe s | Opcode.Galen s ->
+          check_slot pc ~write:false s
+        | Opcode.Gastore s | Opcode.Gastore_unsafe s -> check_slot pc ~write:true s
         | _ -> ());
         (match Opcode.jump_target op with
         | Some target ->
@@ -89,9 +98,32 @@ let analyse (p : Program.t) =
         | Opcode.Jmp _ | Opcode.Halt -> ()
         | _ -> schedule (pc + 1) depth'
       done;
-      Ok !max_depth
+      let unreachable = ref [] in
+      for pc = len - 1 downto 0 do
+        if depth_at.(pc) = -1 then unreachable := pc :: !unreachable
+      done;
+      (match (strict, !unreachable) with
+      | true, pc :: _ -> raise (Verify_error (Unreachable_code { pc }))
+      | _ -> ());
+      (* Unchecked accesses must carry a re-provable bounds argument; the
+         interval analysis re-derives it from the code, so nothing the
+         producer claims is trusted. *)
+      let uses_unsafe =
+        Array.exists
+          (function
+            | Opcode.Gaload_unsafe _ | Opcode.Gastore_unsafe _ -> true
+            | _ -> false)
+          p.code
+      in
+      if uses_unsafe then begin
+        match Absint.check p with
+        | Ok () -> ()
+        | Error { Absint.up_pc; up_slot } ->
+          raise (Verify_error (Unproved_unsafe { pc = up_pc; slot = up_slot }))
+      end;
+      Ok { an_max_stack = !max_depth; an_unreachable = !unreachable }
     with Verify_error e -> Error e
   end
 
-let verify p = Result.map (fun _ -> ()) (analyse p)
-let max_stack_depth p = analyse p
+let verify ?strict p = Result.map (fun _ -> ()) (analyse ?strict p)
+let max_stack_depth p = Result.map (fun a -> a.an_max_stack) (analyse p)

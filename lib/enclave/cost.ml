@@ -5,6 +5,7 @@ type model = {
   marshal_ns : float;
   per_step_ns : float;
   native_ns : float;
+  budget_ns : float;
 }
 
 (* Rough calibration against the paper's setting: a vanilla stack spends on
@@ -20,6 +21,7 @@ let os_model =
     marshal_ns = 20.0;
     per_step_ns = 2.0;
     native_ns = 12.0;
+    budget_ns = 250_000.0;
   }
 
 (* NFP-style NIC cores are individually slower but plentiful; per-packet
@@ -32,7 +34,11 @@ let nic_model =
     marshal_ns = 60.0;
     per_step_ns = 6.0;
     native_ns = 35.0;
+    budget_ns = 700_000.0;
   }
+
+let admission_ns m ~steps =
+  m.classify_ns +. m.marshal_ns +. (float_of_int steps *. m.per_step_ns)
 
 module Accum = struct
   type t = {

@@ -15,6 +15,11 @@ type model = {
   marshal_ns : float;  (** Environment copy-in / copy-out, per invocation. *)
   per_step_ns : float;  (** Interpreter cost per bytecode step. *)
   native_ns : float;  (** Hard-coded (native) action function, per invocation. *)
+  budget_ns : float;
+      (** Admission-control ceiling: worst-case Eden-added nanoseconds a
+          single invocation may cost on this enclave.  Sized so a program
+          running to the default [step_limit] still fits; tighter budgets
+          come from {!Enclave.set_budget_ns}. *)
 }
 
 val os_model : model
@@ -23,6 +28,11 @@ val os_model : model
 val nic_model : model
 (** The programmable-NIC enclave: slower single-thread cores, but the
     model only matters relatively. *)
+
+val admission_ns : model -> steps:int -> float
+(** Worst-case Eden-added cost of one invocation retiring at most
+    [steps] instructions: classification + marshalling + interpretation.
+    Compared against [budget_ns] at install time. *)
 
 (** Accumulates busy-time per component over a run. *)
 module Accum : sig

@@ -117,6 +117,7 @@ type t = {
   mutable e_faults : fault_record list;
   e_cost : Cost.Accum.t;
   e_cost_model : Cost.model;
+  mutable e_budget_ns : float;
   mutable e_enforce : bool;
   mutable e_last_cost_ns : float;
 }
@@ -149,6 +150,8 @@ let create ?(placement = Os) ?(seed = 0xEDE1L) ~host () =
       e_faults = [];
       e_cost = Cost.Accum.create ();
       e_cost_model = (match placement with Os -> Cost.os_model | Nic -> Cost.nic_model);
+      e_budget_ns =
+        (match placement with Os -> Cost.os_model | Nic -> Cost.nic_model).Cost.budget_ns;
       e_enforce = true;
       e_last_cost_ns = 0.0;
     }
@@ -175,6 +178,11 @@ let faults t = t.e_faults
 let cost t = t.e_cost
 let cost_model t = t.e_cost_model
 let last_process_cost_ns t = t.e_last_cost_ns
+let budget_ns t = t.e_budget_ns
+
+let set_budget_ns t ns =
+  if ns <= 0.0 then invalid_arg "Enclave.set_budget_ns: budget must be positive";
+  t.e_budget_ns <- ns
 
 (* ------------------------------------------------------------------ *)
 (* Packet-field marshalling *)
@@ -222,9 +230,34 @@ let concurrency_of_program (p : P.t) =
   else if P.writes_entity p P.Message then `Per_message
   else `Parallel
 
-let install_action t spec =
-  if Hashtbl.mem t.e_actions spec.i_name then
-    Error (Printf.sprintf "action %S already installed" spec.i_name)
+type install_error =
+  | Already_installed of string
+  | Rejected_bytecode of Verifier.error
+  | Over_budget of { est_ns : float; budget_ns : float; steps : int }
+  | Bad_contract of string list
+
+let install_error_to_string = function
+  | Already_installed name -> Printf.sprintf "action %S already installed" name
+  | Rejected_bytecode e -> Verifier.error_to_string e
+  | Over_budget { est_ns; budget_ns; steps } ->
+    Printf.sprintf
+      "worst-case cost %.0f ns (%d steps) exceeds the enclave budget of %.0f ns" est_ns
+      steps budget_ns
+  | Bad_contract problems -> String.concat "; " problems
+
+let pp_install_error fmt e = Format.pp_print_string fmt (install_error_to_string e)
+
+(* Admission control (§3.4 trust boundary): the worst case an invocation
+   can cost is bounded by the static longest path when the control-flow
+   graph is acyclic, and by [step_limit] always — the interpreter faults
+   the invocation at that many steps regardless. *)
+let admission_steps (p : P.t) =
+  match Eden_bytecode.Wcet.worst_case_steps p with
+  | Some n -> min n p.P.step_limit
+  | None -> p.P.step_limit
+
+let install_action_full t spec =
+  if Hashtbl.mem t.e_actions spec.i_name then Error (Already_installed spec.i_name)
   else begin
     let sources = Hashtbl.create 8 in
     List.iter (fun (name, src) -> Hashtbl.replace sources name src) spec.i_msg_sources;
@@ -233,7 +266,7 @@ let install_action t spec =
       | Native _ -> Ok `Serial
       | Interpreted p -> (
         match Verifier.verify p with
-        | Error e -> Error (Verifier.error_to_string e)
+        | Error e -> Error (Rejected_bytecode e)
         | Ok () ->
           let dummy =
             Packet.make ~id:0L
@@ -273,8 +306,13 @@ let install_action t spec =
                   :: !problems)
             p.P.array_slots;
           match !problems with
-          | [] -> Ok (concurrency_of_program p)
-          | ps -> Error (String.concat "; " ps))
+          | _ :: _ as ps -> Error (Bad_contract ps)
+          | [] ->
+            let steps = admission_steps p in
+            let est_ns = Cost.admission_ns t.e_cost_model ~steps in
+            if est_ns > t.e_budget_ns then
+              Error (Over_budget { est_ns; budget_ns = t.e_budget_ns; steps })
+            else Ok (concurrency_of_program p))
     in
     match validate () with
     | Error _ as e -> e
@@ -293,6 +331,9 @@ let install_action t spec =
         };
       Ok ()
   end
+
+let install_action t spec =
+  Result.map_error install_error_to_string (install_action_full t spec)
 
 let remove_action t name =
   let existed = Hashtbl.mem t.e_actions name in
@@ -405,6 +446,22 @@ let run_interpreted t a (p : P.t) pkt md msg_id out ~now =
         if slot.P.a_access = P.Read_write then Array.copy live else live)
       p.P.array_slots
   in
+  (* Bounds proofs behind unchecked opcodes rely on [a_min_len]; if the
+     backing state has not been sized yet (global arrays default to
+     empty), refuse this invocation fail-open instead of running with a
+     broken premise. *)
+  let undersized = ref None in
+  Array.iteri
+    (fun i (slot : P.array_slot) ->
+      if !undersized = None && Array.length arrays.(i) < slot.P.a_min_len then
+        undersized :=
+          Some
+            (Interp.Undersized_env_array
+               { slot = i; length = Array.length arrays.(i); min_len = slot.P.a_min_len }))
+    p.P.array_slots;
+  match !undersized with
+  | Some fault -> record_fault t a.a_name fault now
+  | None -> (
   let env = Interp.make_env p ~scalars ~arrays in
   Cost.Accum.add_marshal t.e_cost t.e_cost_model;
   match Interp.run ?scratch:a.a_scratch p ~env ~now ~rng:t.e_rng with
@@ -430,7 +487,7 @@ let run_interpreted t a (p : P.t) pkt md msg_id out ~now =
       (fun i (slot : P.array_slot) ->
         if slot.P.a_access = P.Read_write then
           State.global_array_set a.a_state slot.P.a_name env.Interp.arrays.(i))
-      p.P.array_slots
+      p.P.array_slots)
 
 let run_native t a f pkt md msg_id out ~now =
   t.e_counters.native_invocations <- t.e_counters.native_invocations + 1;

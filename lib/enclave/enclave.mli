@@ -99,12 +99,40 @@ val set_enforce : t -> bool -> unit
     to packets — the paper's "Baseline (Eden)" configuration that
     measures pure data-path overhead (§5.1). *)
 
+val budget_ns : t -> float
+(** Per-invocation admission budget (Eden-added worst-case ns). *)
+
+val set_budget_ns : t -> float -> unit
+(** Tighten or relax the admission budget for subsequent installs.
+    Defaults to the placement's {!Cost.model.budget_ns}.
+    @raise Invalid_argument when the budget is not positive. *)
+
 (** {2 Enclave API (controller-facing, §3.4.5)} *)
 
-val install_action : t -> install_spec -> (unit, string) result
+(** Why an install was refused, for structured controller diagnostics. *)
+type install_error =
+  | Already_installed of string
+  | Rejected_bytecode of Eden_bytecode.Verifier.error
+      (** Stack discipline, read-only writes, or an unproved unchecked
+          access. *)
+  | Over_budget of { est_ns : float; budget_ns : float; steps : int }
+      (** Static worst case (longest acyclic path, else [step_limit])
+          costs more than this enclave's per-invocation budget. *)
+  | Bad_contract of string list
+      (** Environment-contract problems (unmarshallable packet fields,
+          writable metadata-sourced message fields, ...). *)
+
+val install_error_to_string : install_error -> string
+val pp_install_error : Format.formatter -> install_error -> unit
+
+val install_action_full : t -> install_spec -> (unit, install_error) result
 (** Verifies interpreted bytecode, validates the environment contract
     (packet fields must be marshallable, metadata-sourced message fields
-    must be read-only), and creates the action's state store. *)
+    must be read-only), runs cost admission against {!budget_ns}, and
+    creates the action's state store. *)
+
+val install_action : t -> install_spec -> (unit, string) result
+(** [install_action_full] with the error rendered as a string. *)
 
 val remove_action : t -> string -> bool
 val action_names : t -> string list

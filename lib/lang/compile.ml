@@ -79,8 +79,13 @@ type layout = {
   array_index : (Ast.entity * string, int) Hashtbl.t;  (* -> slot *)
 }
 
-let build_layout (action : Ast.t) =
+let build_layout schema (action : Ast.t) =
   let to_access = function `Read -> P.Read_only | `Write -> P.Read_write in
+  let min_len ent name =
+    match Schema.find_array schema ent name with
+    | Some { Schema.a_min_length = Some n; _ } -> n
+    | _ -> 0
+  in
   let fields = Ast.fields_used action in
   let arrays = Ast.arrays_used action in
   let scalar_index = Hashtbl.create 16 in
@@ -103,7 +108,12 @@ let build_layout (action : Ast.t) =
       (List.mapi
          (fun i (ent, name, access) ->
            Hashtbl.replace array_index (ent, name) i;
-           { P.a_name = name; a_entity = Ast.entity_to_program ent; a_access = to_access access })
+           {
+             P.a_name = name;
+             a_entity = Ast.entity_to_program ent;
+             a_access = to_access access;
+             a_min_len = min_len ent name;
+           })
          arrays)
   in
   { scalar_slots; array_slots; scalar_index; array_index }
@@ -309,7 +319,7 @@ let compile ?(stack_limit = P.default_stack_limit) ?(heap_limit = P.default_heap
               action.af_funs;
         }
       in
-      let layout = build_layout action in
+      let layout = build_layout schema action in
       let funs =
         List.fold_left
           (fun acc (fd : Ast.fundef) -> Smap.add fd.fn_name fd acc)
@@ -336,7 +346,11 @@ let compile ?(stack_limit = P.default_stack_limit) ?(heap_limit = P.default_heap
           ~array_slots:layout.array_slots ~n_locals:(max st.next_local 1) ~stack_limit
           ~heap_limit ~step_limit ()
       in
-      match Eden_bytecode.Verifier.verify program with
+      (* The tail-recursion-to-loop rewrite leaves dead [Jmp]s after
+         branches that end in a self-call; drop them so the program
+         satisfies the verifier's no-unreachable-code (strict) mode. *)
+      let program = P.strip_unreachable program in
+      match Eden_bytecode.Verifier.verify ~strict:true program with
       | Ok () -> Ok program
       | Error e -> Error (Verifier_rejected e)
     with Compile_error e -> Error e)

@@ -24,6 +24,13 @@ type error =
 val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit
 
+val fold_consts : Ast.expr -> Ast.expr
+(** Constant folding with the interpreter's exact [Int64] semantics
+    (wrapping arithmetic, runtime division faults preserved), including
+    dead-[If] elimination when the condition folds to a constant.  Run
+    automatically during {!compile}; exposed for the install-time
+    optimizer in [Eden_analysis.Optimize]. *)
+
 val compile :
   ?stack_limit:int ->
   ?heap_limit:int ->

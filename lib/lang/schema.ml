@@ -8,14 +8,25 @@ type field = {
   f_default : int64;
 }
 
-type array_decl = { a_name : string; a_access : access }
+type array_decl = {
+  a_name : string;
+  a_access : access;
+  a_min_length : int option;
+  a_max_length : int option;
+}
 type entity_schema = { fields : field list; arrays : array_decl list }
 type t = { packet : entity_schema; message : entity_schema; global : entity_schema }
 
 let field ?(access = Read_only) ?(header_maps = []) ?(default = 0L) name =
   { f_name = name; f_access = access; f_header_maps = header_maps; f_default = default }
 
-let array ?(access = Read_only) name = { a_name = name; a_access = access }
+let array ?(access = Read_only) ?min_length ?max_length name =
+  (match (min_length, max_length) with
+  | Some mn, _ when mn < 0 -> invalid_arg "Schema.array: negative min_length"
+  | _, Some mx when mx < 0 -> invalid_arg "Schema.array: negative max_length"
+  | Some mn, Some mx when mn > mx -> invalid_arg "Schema.array: min_length > max_length"
+  | _ -> ());
+  { a_name = name; a_access = access; a_min_length = min_length; a_max_length = max_length }
 
 let empty_entity = { fields = []; arrays = [] }
 let empty = { packet = empty_entity; message = empty_entity; global = empty_entity }
@@ -73,7 +84,9 @@ let infer (action : Ast.t) =
     | Ast.Message | Ast.Global ->
       Some (ent, { f_name = name; f_access = Read_write; f_header_maps = []; f_default = 0L })
   in
-  let arr (ent, name, _access) = (ent, { a_name = name; a_access = Read_write }) in
+  let arr (ent, name, _access) =
+    (ent, { a_name = name; a_access = Read_write; a_min_length = None; a_max_length = None })
+  in
   let fields = List.filter_map scalar (Ast.fields_used action) in
   let arrays = List.map arr (Ast.arrays_used action) in
   let by ent l = List.filter_map (fun (e, x) -> if e = ent then Some x else None) l in

@@ -22,6 +22,13 @@ type field = {
 type array_decl = {
   a_name : string;
   a_access : access;
+  a_min_length : int option;
+      (** Declared lower bound on the backing array's length.  Becomes the
+          program's [a_min_len] contract, which the enclave enforces, so
+          bounds analysis may rely on it. *)
+  a_max_length : int option;
+      (** Declared upper bound; only used to tighten static cost bounds on
+          loops that walk the array. *)
 }
 
 type entity_schema = { fields : field list; arrays : array_decl list }
@@ -36,7 +43,8 @@ val field :
   ?access:access -> ?header_maps:header_map list -> ?default:int64 -> string -> field
 (** Defaults: read-only, no header maps, default value 0. *)
 
-val array : ?access:access -> string -> array_decl
+val array : ?access:access -> ?min_length:int -> ?max_length:int -> string -> array_decl
+(** @raise Invalid_argument on negative lengths or [min_length > max_length]. *)
 
 val empty_entity : entity_schema
 val empty : t

@@ -26,11 +26,13 @@ let rw_scalar name local =
   { Program.s_name = name; s_entity = Program.Packet; s_access = Program.Read_write;
     s_local = local }
 
-let ro_array name =
-  { Program.a_name = name; a_entity = Program.Global; a_access = Program.Read_only }
+let ro_array ?(min_len = 0) name =
+  { Program.a_name = name; a_entity = Program.Global; a_access = Program.Read_only;
+    a_min_len = min_len }
 
-let rw_array name =
-  { Program.a_name = name; a_entity = Program.Global; a_access = Program.Read_write }
+let rw_array ?(min_len = 0) name =
+  { Program.a_name = name; a_entity = Program.Global; a_access = Program.Read_write;
+    a_min_len = min_len }
 
 (* ------------------------------------------------------------------ *)
 (* Interpreter basics *)
