@@ -5,9 +5,15 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- fig9 fig11   -- selected sections
      dune exec bench/main.exe -- quick        -- everything, scaled down
+     dune exec bench/main.exe -- micro --json BENCH_micro.json
 
    Sections: table1 table2 listings footprint micro analysis fig9 fig10
-             fig11 fig12 ablations *)
+             fig11 fig12 ablations
+
+   [--json FILE] additionally writes the measured rows of the Bechamel
+   sections (micro, analysis) to FILE as a JSON array of
+   {section, name, params, ns_per_op, steps} objects, so CI can diff
+   runs without scraping the human tables. *)
 
 module Time = Eden_base.Time
 module Metadata = Eden_base.Metadata
@@ -22,6 +28,35 @@ open Eden_experiments
 
 let section_header title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
+
+(* ------------------------------------------------------------------ *)
+(* JSON result sink (--json FILE) *)
+
+let json_rows : (string * string * float * int option) list ref = ref []
+let bench_quick = ref false
+
+let add_json ~section ?steps name ns = json_rows := (section, name, ns, steps) :: !json_rows
+
+let write_json path =
+  let rows = List.rev !json_rows in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (section, name, ns, steps) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  {\"section\": %S, \"name\": %S, \"params\": {\"quick\": %b}, \
+            \"ns_per_op\": %.3f, \"steps\": %s}%s\n"
+           section name !bench_quick ns
+           (match steps with Some s -> string_of_int s | None -> "null")
+           (if i < n - 1 then "," else "")))
+    rows;
+  Buffer.add_string buf "]\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\njson: %d rows written to %s\n" n path
 
 (* ------------------------------------------------------------------ *)
 (* Generic table printing *)
@@ -142,6 +177,51 @@ let run_bechamel tests =
     tbl []
   |> List.sort compare
 
+(* Instructions a program retires on the bench environment — attached to
+   the JSON rows so ns/op can be read as ns/step. *)
+let program_steps p =
+  let env = make_interp_env p in
+  match Interp.run p ~env ~now:(Eden_base.Time.us 5) ~rng:(Eden_base.Rng.create 3L) with
+  | Ok s -> s.Interp.steps
+  | Error (_, s) -> s.Interp.steps
+
+(* Steady-state allocation of the cached compiled data path: after the
+   flow cache and marshal plans are warm, [process] must not allocate for
+   marshalling or table lookup.  What remains above the no-policy
+   baseline is the int64 boxing of scalar copy-in plus the cost
+   accumulator's boxed floats — a small constant, asserted here so a
+   regression (a stray [Array.map], option, or closure on the per-packet
+   path) fails the bench loudly. *)
+let allocation_words_budget = 64.0
+
+let allocation_check () =
+  let words_per_packet e =
+    let pkt = bench_packet () in
+    for i = 1 to 1_000 do
+      ignore (Enclave.process e ~now:(Eden_base.Time.us i) pkt)
+    done;
+    let n = 10_000 in
+    let before = Gc.minor_words () in
+    for i = 1 to n do
+      ignore (Enclave.process e ~now:(Eden_base.Time.us (1_000 + i)) pkt)
+    done;
+    (Gc.minor_words () -. before) /. float_of_int n
+  in
+  let base = words_per_packet (Enclave.create ~host:1 ()) in
+  let compiled = words_per_packet (pias_process_enclave `Compiled) in
+  let delta = compiled -. base in
+  Printf.printf
+    "\nallocation (minor words/packet): no-policy %.1f, compiled pias %.1f, delta %.1f \
+     (budget %.0f)\n"
+    base compiled delta allocation_words_budget;
+  if delta > allocation_words_budget then begin
+    Printf.printf
+      "ALLOCATION REGRESSION: the cached compiled data path allocates %.1f words/packet \
+       over the no-policy baseline\n"
+      delta;
+    exit 1
+  end
+
 let micro () =
   section_header "Micro-benchmarks: real interpreter cost on this machine (Bechamel)";
   let open Bechamel in
@@ -152,8 +232,19 @@ let micro () =
       (Staged.stage (fun () ->
            ignore (Interp.run program ~env ~now:(Eden_base.Time.us 5) ~rng)))
   in
+  let compiled_test name program =
+    match Eden_bytecode.Compiled.compile program with
+    | Error e -> invalid_arg (Eden_bytecode.Verifier.error_to_string e)
+    | Ok cp ->
+      let env = make_interp_env program in
+      let rng = Eden_base.Rng.create 3L in
+      Test.make ~name:("compiled/" ^ name)
+        (Staged.stage (fun () ->
+             ignore (Eden_bytecode.Compiled.exec cp ~env ~now:(Eden_base.Time.us 5) ~rng)))
+  in
   let ei = pias_process_enclave `Interpreted in
   let en = pias_process_enclave `Native in
+  let ec = pias_process_enclave `Compiled in
   let e0 = Enclave.create ~host:1 () in
   let pkt = bench_packet () in
   let stage = Builtin.memcached () in
@@ -173,34 +264,70 @@ let micro () =
       (Staged.stage (fun () ->
            ignore (Interp.run ~scratch program ~env ~now:(Eden_base.Time.us 5) ~rng)))
   in
-  let tests =
+  let engine_subjects =
     [
-      interp_test "pias" (Eden_functions.Pias.program ());
-      scratch_test "pias" (Eden_functions.Pias.program ());
-      interp_test "wcmp" (Eden_functions.Wcmp.program ());
-      interp_test "pulsar" (Eden_functions.Pulsar.program ());
-      interp_test "port_knocking" (Eden_functions.Port_knocking.program ());
-      Test.make ~name:"enclave/process interpreted pias"
-        (Staged.stage (fun () -> ignore (Enclave.process ei ~now:(Eden_base.Time.us 1) pkt)));
-      Test.make ~name:"enclave/process native pias"
-        (Staged.stage (fun () -> ignore (Enclave.process en ~now:(Eden_base.Time.us 1) pkt)));
-      Test.make ~name:"enclave/process no-policy"
-        (Staged.stage (fun () -> ignore (Enclave.process e0 ~now:(Eden_base.Time.us 1) pkt)));
-      Test.make ~name:"stage/classify memcached"
-        (Staged.stage (fun () -> ignore (Stage.classify stage descriptor)));
-      Test.make ~name:"compiler/compile pias"
-        (Staged.stage (fun () ->
-             ignore
-               (Eden_lang.Compile.compile Eden_functions.Pias.schema
-                  Eden_functions.Pias.action)));
+      ("pias", Eden_functions.Pias.program ());
+      ("wcmp", Eden_functions.Wcmp.program ());
+      ("pulsar", Eden_functions.Pulsar.program ());
+      ("port_knocking", Eden_functions.Port_knocking.program ());
     ]
   in
+  let tests =
+    List.map (fun (n, p) -> interp_test n p) engine_subjects
+    @ [ scratch_test "pias" (Eden_functions.Pias.program ()) ]
+    @ List.map (fun (n, p) -> compiled_test n p) engine_subjects
+    @ [
+        Test.make ~name:"enclave/process interpreted pias"
+          (Staged.stage (fun () -> ignore (Enclave.process ei ~now:(Eden_base.Time.us 1) pkt)));
+        Test.make ~name:"enclave/process compiled pias"
+          (Staged.stage (fun () -> ignore (Enclave.process ec ~now:(Eden_base.Time.us 1) pkt)));
+        Test.make ~name:"enclave/process native pias"
+          (Staged.stage (fun () -> ignore (Enclave.process en ~now:(Eden_base.Time.us 1) pkt)));
+        Test.make ~name:"enclave/process no-policy"
+          (Staged.stage (fun () -> ignore (Enclave.process e0 ~now:(Eden_base.Time.us 1) pkt)));
+        Test.make ~name:"stage/classify memcached"
+          (Staged.stage (fun () -> ignore (Stage.classify stage descriptor)));
+        Test.make ~name:"compiler/compile pias"
+          (Staged.stage (fun () ->
+               ignore
+                 (Eden_lang.Compile.compile Eden_functions.Pias.schema
+                    Eden_functions.Pias.action)));
+      ]
+  in
   let results = run_bechamel tests in
+  let steps_of name =
+    List.find_map
+      (fun (n, p) ->
+        if
+          String.equal name ("micro/interp/" ^ n)
+          || String.equal name ("micro/compiled/" ^ n)
+          || String.equal name ("micro/interp/" ^ n ^ " (scratch)")
+        then Some (program_steps p)
+        else None)
+      engine_subjects
+  in
   Printf.printf "%-42s %14s\n" "benchmark" "ns/iteration";
   Printf.printf "%s\n" (String.make 58 '-');
-  List.iter (fun (name, ns) -> Printf.printf "%-42s %14.1f\n" name ns) results;
+  List.iter
+    (fun (name, ns) ->
+      add_json ~section:"micro" ?steps:(steps_of name) name ns;
+      Printf.printf "%-42s %14.1f\n" name ns)
+    results;
+  (* Interpreted-vs-compiled: the tentpole's payoff, per function. *)
+  Printf.printf "\ncompiled engine vs checked interpreter (same programs, same envs):\n";
+  List.iter
+    (fun (n, _) ->
+      match
+        ( List.assoc_opt ("micro/interp/" ^ n) results,
+          List.assoc_opt ("micro/compiled/" ^ n) results )
+      with
+      | Some i, Some c when c > 0.0 ->
+        Printf.printf "  %-16s interp %8.1f ns -> compiled %8.1f ns  (%.1fx)\n" n i c
+          (i /. c)
+      | _ -> ())
+    engine_subjects;
   (* Calibration: ns per interpreter step for PIAS. *)
-  match List.assoc_opt "micro/interp/pias" results with
+  (match List.assoc_opt "micro/interp/pias" results with
   | Some ns -> (
     let p = Eden_functions.Pias.program () in
     let env = make_interp_env p in
@@ -212,7 +339,8 @@ let micro () =
         (ns /. float_of_int stats.Interp.steps)
         Eden_enclave.Cost.os_model.Eden_enclave.Cost.per_step_ns
     | Error _ -> ())
-  | None -> ()
+  | None -> ());
+  allocation_check ()
 
 (* ------------------------------------------------------------------ *)
 (* Install-time analysis: analyzer cost and the unchecked-path payoff *)
@@ -277,7 +405,11 @@ let analysis () =
   let results = run_bechamel tests in
   Printf.printf "%-42s %14s\n" "benchmark" "ns/iteration";
   Printf.printf "%s\n" (String.make 58 '-');
-  List.iter (fun (name, ns) -> Printf.printf "%-42s %14.1f\n" name ns) results;
+  List.iter
+    (fun (name, ns) ->
+      add_json ~section:"analysis" name ns;
+      Printf.printf "%-42s %14.1f\n" name ns)
+    results;
   Printf.printf "\nunchecked-path payoff (bounds proofs -> no per-access checks):\n";
   List.iter
     (fun (name, (bounds, _)) ->
@@ -496,7 +628,15 @@ let ablations quick =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec split sections json = function
+    | [] -> (List.rev sections, json)
+    | "--json" :: file :: rest -> split sections (Some file) rest
+    | "--json" :: [] -> invalid_arg "--json requires a file argument"
+    | a :: rest -> split (a :: sections) json rest
+  in
+  let args, json_file = split [] None args in
   let quick = List.mem "quick" args in
+  bench_quick := quick;
   let sections = List.filter (fun a -> a <> "quick") args in
   let want s = sections = [] || List.mem s sections in
   let t0 = Unix.gettimeofday () in
@@ -546,4 +686,5 @@ let () =
     Fig12.print (Fig12.run ~params ())
   end;
   if want "ablations" then ablations quick;
+  (match json_file with Some f -> write_json f | None -> ());
   Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

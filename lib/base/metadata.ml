@@ -35,6 +35,20 @@ let find_int field t =
 let find_str field t =
   match find field t with Some (Str s) -> Some s | Some (Int _) | None -> None
 
+(* Allocation-free variants for the enclave data path: [Smap.find] plus
+   [Not_found] avoids materialising an option per packet. *)
+let int_field field ~default t =
+  match Smap.find field t.fields with
+  | Int i -> i
+  | Str _ -> default
+  | exception Not_found -> default
+
+let str_field_is field ~expected t =
+  match Smap.find field t.fields with
+  | Str s -> String.equal s expected
+  | Int _ -> false
+  | exception Not_found -> false
+
 let mem field t = Smap.mem field t.fields
 let fields t = Smap.bindings t.fields
 

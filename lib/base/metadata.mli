@@ -30,6 +30,15 @@ val add : string -> value -> t -> t
 val find : string -> t -> value option
 val find_int : string -> t -> int64 option
 val find_str : string -> t -> string option
+
+val int_field : string -> default:int64 -> t -> int64
+(** [find_int] without the option allocation, for per-packet paths.
+    Returns [default] when the field is absent or not an integer. *)
+
+val str_field_is : string -> expected:string -> t -> bool
+(** True when the (string) field is present and equals [expected];
+    allocation-free. *)
+
 val mem : string -> t -> bool
 val fields : t -> (string * value) list
 (** Bindings in field-name order. *)

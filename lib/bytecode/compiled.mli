@@ -1,0 +1,60 @@
+(** Install-time closure compilation of verified bytecode.
+
+    A second execution engine alongside {!Interp.run}: [compile]
+    translates a verifier-accepted program into threaded code — one
+    OCaml closure chain per basic block, blocks linked by direct calls —
+    paying the translation cost once at install so the per-packet path
+    carries none of the interpreter's per-step overhead (opcode [match]
+    dispatch, pc/step ref cells, per-instruction step-limit checks,
+    dynamic operand-stack pointer).
+
+    The engine is observationally identical to {!Interp.run}: same
+    published state, same faults at the same pc with the same partial
+    effects, same [steps]/[max_stack]/[heap_cells] statistics.
+    [test/test_compiled.ml] enforces this differentially on randomized
+    programs.
+
+    A [t] owns its mutable machine state (like {!Interp.scratch}), so a
+    given [t] must not be run concurrently from multiple domains; wrap
+    it in the enclave's concurrency control as for interpreted
+    actions. *)
+
+type t
+
+val compile : ?strict:bool -> Program.t -> (t, Verifier.error) result
+(** Verify (via {!Verifier.analyse}, so unsafe array ops are re-proved)
+    and translate. The closure code relies on the verifier's invariants
+    — single consistent stack depth per pc, in-range locals and slots —
+    hence compilation of an unverifiable program is refused rather than
+    attempted. *)
+
+val program : t -> Program.t
+
+val run :
+  t ->
+  env:Interp.env ->
+  now:Eden_base.Time.t ->
+  rng:Eden_base.Rng.t ->
+  (Interp.stats, Interp.fault * Interp.stats) result
+(** Drop-in for {!Interp.run} (same env mutation and publication
+    contract). Allocates only the [stats] record / result constructor;
+    use {!exec} on paths that must not allocate. *)
+
+val exec :
+  t ->
+  env:Interp.env ->
+  now:Eden_base.Time.t ->
+  rng:Eden_base.Rng.t ->
+  Interp.fault option
+(** Like {!run} but allocation-free on success ([None]); read the
+    statistics of the completed run from the accessors below. The
+    returned fault (if any) is freshly allocated only on the fault
+    path. *)
+
+val last_steps : t -> int
+val last_max_stack : t -> int
+val last_heap_cells : t -> int
+(** Statistics of the most recent {!run}/{!exec} on this [t]. *)
+
+val stats : t -> Interp.stats
+(** Allocates a fresh record from the three accessors above. *)

@@ -3,9 +3,12 @@ module Stage = Eden_stage.Stage
 module Classifier = Eden_stage.Classifier
 open Eden_functions
 
-type engine = Interpreted | Native
+type engine = Interpreted | Compiled | Native
 
-let variant = function Interpreted -> `Interpreted | Native -> `Native
+let variant = function
+  | Interpreted -> `Interpreted
+  | Compiled -> `Compiled
+  | Native -> `Native
 
 (* Apply a per-enclave install to the whole fleet; on any failure remove
    the action from the enclaves already programmed. *)
@@ -47,6 +50,8 @@ let weighted_load_balancing ctl ?(engine = Interpreted) ?(message_level = false)
       | Native, _ -> `Native
       | Interpreted, false -> `Packet
       | Interpreted, true -> `Message
+      | Compiled, false -> `Compiled
+      | Compiled, true -> `Compiled_message
     in
     fleet_install ctl ~name:"wcmp" (fun e -> Wcmp.install ~variant:v e ~matrix)
   end

@@ -8,7 +8,7 @@
     application classification.  Installs are fleet-atomic: a failure on
     any enclave rolls back the ones already programmed. *)
 
-type engine = Interpreted | Native
+type engine = Interpreted | Compiled | Native
 
 val flow_scheduling :
   Controller.t ->

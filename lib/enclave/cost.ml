@@ -4,6 +4,7 @@ type model = {
   classify_ns : float;
   marshal_ns : float;
   per_step_ns : float;
+  compiled_step_ns : float;
   native_ns : float;
   budget_ns : float;
 }
@@ -20,6 +21,7 @@ let os_model =
     classify_ns = 30.0;
     marshal_ns = 20.0;
     per_step_ns = 2.0;
+    compiled_step_ns = 0.5;
     native_ns = 12.0;
     budget_ns = 250_000.0;
   }
@@ -33,6 +35,7 @@ let nic_model =
     classify_ns = 90.0;
     marshal_ns = 60.0;
     per_step_ns = 6.0;
+    compiled_step_ns = 1.5;
     native_ns = 35.0;
     budget_ns = 700_000.0;
   }
@@ -63,6 +66,9 @@ module Accum = struct
   let add_classify t m = t.classify <- t.classify +. m.classify_ns
   let add_marshal t m = t.marshal <- t.marshal +. m.marshal_ns
   let add_interp t m ~steps = t.interp <- t.interp +. (float_of_int steps *. m.per_step_ns)
+
+  let add_compiled t m ~steps =
+    t.interp <- t.interp +. (float_of_int steps *. m.compiled_step_ns)
   let add_native t m = t.native <- t.native +. m.native_ns
   let packets t = t.packets
 

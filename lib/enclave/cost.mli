@@ -14,6 +14,9 @@ type model = {
   classify_ns : float;  (** Enclave classification + table lookup. *)
   marshal_ns : float;  (** Environment copy-in / copy-out, per invocation. *)
   per_step_ns : float;  (** Interpreter cost per bytecode step. *)
+  compiled_step_ns : float;
+      (** Cost per retired step under the closure-compiled engine —
+          dispatch is gone, so only the operation itself remains. *)
   native_ns : float;  (** Hard-coded (native) action function, per invocation. *)
   budget_ns : float;
       (** Admission-control ceiling: worst-case Eden-added nanoseconds a
@@ -44,6 +47,10 @@ module Accum : sig
   val add_classify : t -> model -> unit
   val add_marshal : t -> model -> unit
   val add_interp : t -> model -> steps:int -> unit
+
+  val add_compiled : t -> model -> steps:int -> unit
+  (** Charged into the interpreter bucket at [compiled_step_ns]. *)
+
   val add_native : t -> model -> unit
 
   val packets : t -> int

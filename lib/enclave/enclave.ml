@@ -7,6 +7,7 @@ module Rng = Eden_base.Rng
 module P = Eden_bytecode.Program
 module Interp = Eden_bytecode.Interp
 module Verifier = Eden_bytecode.Verifier
+module Opcode = Eden_bytecode.Opcode
 module Stage = Eden_stage.Stage
 module Builtin = Eden_stage.Builtin
 
@@ -27,15 +28,13 @@ type outputs = {
   mutable o_goto : int;
 }
 
-let fresh_outputs (pkt : Packet.t) =
-  {
-    o_priority = pkt.Packet.priority;
-    o_path = (match pkt.Packet.route_label with Some l -> l | None -> -1);
-    o_drop = false;
-    o_queue = -1;
-    o_charge = -1;
-    o_goto = -1;
-  }
+let reset_outputs out (pkt : Packet.t) =
+  out.o_priority <- pkt.Packet.priority;
+  out.o_path <- (match pkt.Packet.route_label with Some l -> l | None -> -1);
+  out.o_drop <- false;
+  out.o_queue <- -1;
+  out.o_charge <- -1;
+  out.o_goto <- -1
 
 module Native_ctx = struct
   type t = {
@@ -66,7 +65,10 @@ module Native_ctx = struct
   let set_charge t c = t.nc_out.o_charge <- c
 end
 
-type impl = Interpreted of P.t | Native of (Native_ctx.t -> unit)
+type impl =
+  | Interpreted of P.t
+  | Compiled of P.t
+  | Native of (Native_ctx.t -> unit)
 
 type msg_field_source =
   | Stateful of int64
@@ -84,6 +86,7 @@ type counters = {
   mutable dropped : int;
   mutable invocations : int;
   mutable native_invocations : int;
+  mutable compiled_invocations : int;
   mutable faults : int;
   mutable interp_steps : int;
 }
@@ -94,14 +97,258 @@ type fault_record = {
   fr_time : Time.t;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Packet-field marshalling.
+
+   Field names are resolved to small integer codes once at install time
+   so the per-packet copy-in / copy-out is an integer dispatch with no
+   string comparison or hashing. *)
+
+let proto_code = function Addr.Tcp -> 6L | Addr.Udp -> 17L
+
+let packet_field_code = function
+  | "Size" -> 0
+  | "PayloadSize" -> 1
+  | "Priority" -> 2
+  | "Path" -> 3
+  | "SrcHost" -> 4
+  | "SrcPort" -> 5
+  | "DstHost" -> 6
+  | "DstPort" -> 7
+  | "Proto" -> 8
+  | "IsData" -> 9
+  | "Drop" -> 10
+  | "Queue" -> 11
+  | "Charge" -> 12
+  | "GotoTable" -> 13
+  | _ -> -1
+
+let packet_field_by_code (pkt : Packet.t) = function
+  | 0 -> Int64.of_int (Packet.wire_size pkt)
+  | 1 -> Int64.of_int pkt.Packet.payload
+  | 2 -> Int64.of_int pkt.Packet.priority
+  | 3 -> (match pkt.Packet.route_label with Some l -> Int64.of_int l | None -> -1L)
+  | 4 -> Int64.of_int pkt.Packet.flow.Addr.src.Addr.host
+  | 5 -> Int64.of_int pkt.Packet.flow.Addr.src.Addr.port
+  | 6 -> Int64.of_int pkt.Packet.flow.Addr.dst.Addr.host
+  | 7 -> Int64.of_int pkt.Packet.flow.Addr.dst.Addr.port
+  | 8 -> proto_code pkt.Packet.flow.Addr.proto
+  | 9 -> if Packet.is_data pkt then 1L else 0L
+  | 10 -> 0L
+  | 11 | 12 | 13 -> -1L
+  | _ -> 0L
+
+let packet_field_writable = function
+  | "Priority" | "Path" | "Drop" | "Queue" | "Charge" | "GotoTable" -> true
+  | _ -> false
+
+let apply_packet_field_code (out : outputs) code v =
+  match code with
+  | 2 -> out.o_priority <- max 0 (min 7 (Int64.to_int v))
+  | 3 -> out.o_path <- Int64.to_int v
+  | 10 -> if not (Int64.equal v 0L) then out.o_drop <- true
+  | 11 -> out.o_queue <- Int64.to_int v
+  | 12 -> out.o_charge <- Int64.to_int v
+  | 13 -> out.o_goto <- Int64.to_int v
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Marshal plans.
+
+   The paper's enclave performs copy-in / copy-out around every
+   invocation (§3.4.3).  Doing that naively — one [Array.map] over the
+   slot tables per packet — allocates fresh environment buffers and
+   copies every array on every packet.  A plan is computed once at
+   install time from the program's effect footprint:
+
+   - scalar slots the program never [Load]s are not copied in; writable
+     slots it never [Store]s are neither copied in nor published (the
+     interpreter's publish of an untouched local would only echo the
+     input back);
+   - read-only array slots — and writable slots with no reachable store
+     — alias the live array (the verifier guarantees the program cannot
+     write through them);
+   - a written array slot of a program {!Wcet.fault_free} proved unable
+     to fault runs in place against the live array, eliding both blits;
+   - otherwise the slot gets a persistent scratch buffer: blit-in per
+     packet, blit-out only on success, preserving fault isolation.
+
+   Plans cache aliases into the action's live arrays, so they watch
+   {!State.array_version} and rebind when the controller swaps an array
+   binding. *)
+
+type scalar_in =
+  | In_zero  (** Never read by the program: skip the copy-in. *)
+  | In_pkt of int
+  | In_msg_state of string * int64  (** field, default *)
+  | In_msg_meta_int of string
+  | In_msg_meta_flag of string * string
+  | In_global of string
+
+type scalar_out =
+  | Out_none
+  | Out_pkt of int
+  | Out_msg of string
+  | Out_global of string
+
+type array_kind =
+  | A_alias  (** Read-only (or never written): share the live array. *)
+  | A_inplace  (** Written but fault-free: run directly on the live array. *)
+  | A_scratch  (** Written, may fault: copy via a persistent scratch buffer. *)
+
+type plan = {
+  pl_prog : P.t;
+  pl_in : scalar_in array;  (* per scalar slot *)
+  pl_out : scalar_out array;  (* per scalar slot *)
+  pl_abind : array_kind array;  (* per array slot *)
+  pl_scalars : int64 array;  (* preallocated env.scalars *)
+  pl_arrays : int64 array array;  (* preallocated env.arrays *)
+  pl_live : int64 array array;  (* live aliases for scratch blits *)
+  pl_env : Interp.env;
+  mutable pl_version : int;  (* State.array_version at last rebind *)
+  mutable pl_undersized : Interp.fault option;  (* checked at rebind *)
+}
+
+let local_usage (p : P.t) =
+  let reads = Array.make (max 1 p.P.n_locals) false in
+  let writes = Array.make (max 1 p.P.n_locals) false in
+  Array.iter
+    (function
+      | Opcode.Load i -> reads.(i) <- true
+      | Opcode.Store i -> writes.(i) <- true
+      | _ -> ())
+    p.P.code;
+  (reads, writes)
+
+let msg_source_of sources name =
+  match Hashtbl.find_opt sources name with Some s -> s | None -> Stateful 0L
+
+let make_plan (p : P.t) sources =
+  let reads, writes = local_usage p in
+  let n_scalars = Array.length p.P.scalar_slots in
+  let n_arrays = Array.length p.P.array_slots in
+  (* Two slots sharing one local would make per-slot elision ambiguous;
+     fall back to copying everything (the verifier does not forbid it,
+     but no compiler emits it). *)
+  let dup_local =
+    let seen = Hashtbl.create 8 in
+    Array.exists
+      (fun (s : P.scalar_slot) ->
+        let d = Hashtbl.mem seen s.P.s_local in
+        Hashtbl.replace seen s.P.s_local ();
+        d)
+      p.P.scalar_slots
+  in
+  let pl_in =
+    Array.map
+      (fun (s : P.scalar_slot) ->
+        let needed =
+          dup_local || reads.(s.P.s_local)
+          || (s.P.s_access = P.Read_write && writes.(s.P.s_local))
+        in
+        if not needed then In_zero
+        else
+          match s.P.s_entity with
+          | P.Packet -> In_pkt (packet_field_code s.P.s_name)
+          | P.Global -> In_global s.P.s_name
+          | P.Message -> (
+            match msg_source_of sources s.P.s_name with
+            | Stateful default -> In_msg_state (s.P.s_name, default)
+            | Metadata_int field -> In_msg_meta_int field
+            | Metadata_flag (field, expected) -> In_msg_meta_flag (field, expected)))
+      p.P.scalar_slots
+  in
+  let pl_out =
+    Array.map
+      (fun (s : P.scalar_slot) ->
+        if s.P.s_access <> P.Read_write || not (dup_local || writes.(s.P.s_local)) then
+          Out_none
+        else
+          match s.P.s_entity with
+          | P.Packet -> Out_pkt (packet_field_code s.P.s_name)
+          | P.Message -> Out_msg s.P.s_name
+          | P.Global -> Out_global s.P.s_name)
+      p.P.scalar_slots
+  in
+  let written = Array.make (max 1 n_arrays) false in
+  Array.iter
+    (function
+      | Opcode.Gastore s | Opcode.Gastore_unsafe s -> written.(s) <- true
+      | _ -> ())
+    p.P.code;
+  let fault_free = lazy (Eden_bytecode.Wcet.fault_free p) in
+  let name_count name =
+    Array.fold_left
+      (fun acc (a : P.array_slot) -> if String.equal a.P.a_name name then acc + 1 else acc)
+      0 p.P.array_slots
+  in
+  let pl_abind =
+    Array.mapi
+      (fun i (a : P.array_slot) ->
+        if a.P.a_access = P.Read_only || not written.(i) then A_alias
+        else if Lazy.force fault_free && name_count a.P.a_name = 1 then A_inplace
+        else A_scratch)
+      p.P.array_slots
+  in
+  let pl_scalars = Array.make n_scalars 0L in
+  let pl_arrays = Array.make n_arrays [||] in
+  {
+    pl_prog = p;
+    pl_in;
+    pl_out;
+    pl_abind;
+    pl_scalars;
+    pl_arrays;
+    pl_live = Array.make n_arrays [||];
+    pl_env = { Interp.scalars = pl_scalars; arrays = pl_arrays };
+    pl_version = -1;  (* force a rebind before the first invocation *)
+    pl_undersized = None;
+  }
+
+(* Re-alias live arrays (and resize scratch buffers) after the
+   controller rebinds one via [set_global_array]; also re-check the
+   [a_min_len] promises the program's bounds proofs rely on. *)
+let rebind_plan plan state =
+  let v = State.array_version state in
+  if plan.pl_version <> v then begin
+    plan.pl_version <- v;
+    plan.pl_undersized <- None;
+    Array.iteri
+      (fun i (a : P.array_slot) ->
+        let live = State.global_array state a.P.a_name in
+        plan.pl_live.(i) <- live;
+        (match plan.pl_abind.(i) with
+        | A_alias | A_inplace -> plan.pl_arrays.(i) <- live
+        | A_scratch ->
+          if Array.length plan.pl_arrays.(i) <> Array.length live then
+            plan.pl_arrays.(i) <- Array.make (Array.length live) 0L);
+        if plan.pl_undersized = None && Array.length live < a.P.a_min_len then
+          plan.pl_undersized <-
+            Some
+              (Interp.Undersized_env_array
+                 { slot = i; length = Array.length live; min_len = a.P.a_min_len }))
+      plan.pl_prog.P.array_slots
+  end
+
+type engine =
+  | E_interp of P.t * Interp.scratch * plan
+  | E_compiled of Eden_bytecode.Compiled.t * plan
+  | E_native of (Native_ctx.t -> unit)
+
 type installed = {
   a_name : string;
-  a_impl : impl;
   a_state : State.t;
   a_msg_sources : (string, msg_field_source) Hashtbl.t;
   a_concurrency : [ `Parallel | `Per_message | `Serial ];
-  a_scratch : Interp.scratch option;  (* for interpreted actions *)
+  a_engine : engine;
 }
+
+(* A table's resolved lookup for one class vector.  [C_none] caches "no
+   rule fires here" so misses are as cheap as hits. *)
+type cached = C_none | C_run of Table.rule * installed
+
+let cache_cap = 4096
+let fault_ring_capacity = 100
 
 type t = {
   e_host : Addr.host;
@@ -113,8 +360,13 @@ type t = {
   e_actions : (string, installed) Hashtbl.t;
   e_tables : (int, Table.t) Hashtbl.t;
   mutable e_next_table : int;
+  mutable e_caches : (Class_name.t list, cached) Hashtbl.t array;
+      (* per-table match-action cache, indexed by (dense) table id *)
   e_counters : counters;
-  mutable e_faults : fault_record list;
+  e_faults : fault_record option array;  (* ring buffer, newest at e_fault_next-1 *)
+  mutable e_fault_next : int;
+  mutable e_fault_count : int;
+  e_out : outputs;  (* reused across process_one calls *)
   e_cost : Cost.Accum.t;
   e_cost_model : Cost.model;
   mutable e_budget_ns : float;
@@ -138,16 +390,29 @@ let create ?(placement = Os) ?(seed = 0xEDE1L) ~host () =
       e_actions = Hashtbl.create 8;
       e_tables = Hashtbl.create 4;
       e_next_table = 1;
+      e_caches = [| Hashtbl.create 64 |];
       e_counters =
         {
           packets = 0;
           dropped = 0;
           invocations = 0;
           native_invocations = 0;
+          compiled_invocations = 0;
           faults = 0;
           interp_steps = 0;
         };
-      e_faults = [];
+      e_faults = Array.make fault_ring_capacity None;
+      e_fault_next = 0;
+      e_fault_count = 0;
+      e_out =
+        {
+          o_priority = 0;
+          o_path = -1;
+          o_drop = false;
+          o_queue = -1;
+          o_charge = -1;
+          o_goto = -1;
+        };
       e_cost = Cost.Accum.create ();
       e_cost_model = (match placement with Os -> Cost.os_model | Nic -> Cost.nic_model);
       e_budget_ns =
@@ -174,7 +439,14 @@ let placement t = t.e_placement
 let flow_stage t = t.e_flow_stage
 let set_enforce t b = t.e_enforce <- b
 let counters t = t.e_counters
-let faults t = t.e_faults
+
+let faults t =
+  List.init t.e_fault_count (fun i ->
+      let idx =
+        (t.e_fault_next - 1 - i + (2 * fault_ring_capacity)) mod fault_ring_capacity
+      in
+      match t.e_faults.(idx) with Some r -> r | None -> assert false)
+
 let cost t = t.e_cost
 let cost_model t = t.e_cost_model
 let last_process_cost_ns t = t.e_last_cost_ns
@@ -184,43 +456,7 @@ let set_budget_ns t ns =
   if ns <= 0.0 then invalid_arg "Enclave.set_budget_ns: budget must be positive";
   t.e_budget_ns <- ns
 
-(* ------------------------------------------------------------------ *)
-(* Packet-field marshalling *)
-
-let proto_code = function Addr.Tcp -> 6L | Addr.Udp -> 17L
-
-let packet_field_get (pkt : Packet.t) name =
-  match name with
-  | "Size" -> Some (Int64.of_int (Packet.wire_size pkt))
-  | "PayloadSize" -> Some (Int64.of_int pkt.Packet.payload)
-  | "Priority" -> Some (Int64.of_int pkt.Packet.priority)
-  | "Path" ->
-    Some (match pkt.Packet.route_label with Some l -> Int64.of_int l | None -> -1L)
-  | "SrcHost" -> Some (Int64.of_int pkt.Packet.flow.Addr.src.Addr.host)
-  | "SrcPort" -> Some (Int64.of_int pkt.Packet.flow.Addr.src.Addr.port)
-  | "DstHost" -> Some (Int64.of_int pkt.Packet.flow.Addr.dst.Addr.host)
-  | "DstPort" -> Some (Int64.of_int pkt.Packet.flow.Addr.dst.Addr.port)
-  | "Proto" -> Some (proto_code pkt.Packet.flow.Addr.proto)
-  | "IsData" -> Some (if Packet.is_data pkt then 1L else 0L)
-  | "Drop" -> Some 0L
-  | "Queue" -> Some (-1L)
-  | "Charge" -> Some (-1L)
-  | "GotoTable" -> Some (-1L)
-  | _ -> None
-
-let packet_field_writable = function
-  | "Priority" | "Path" | "Drop" | "Queue" | "Charge" | "GotoTable" -> true
-  | _ -> false
-
-let apply_packet_field (out : outputs) name v =
-  match name with
-  | "Priority" -> out.o_priority <- max 0 (min 7 (Int64.to_int v))
-  | "Path" -> out.o_path <- Int64.to_int v
-  | "Drop" -> if not (Int64.equal v 0L) then out.o_drop <- true
-  | "Queue" -> out.o_queue <- Int64.to_int v
-  | "Charge" -> out.o_charge <- Int64.to_int v
-  | "GotoTable" -> out.o_goto <- Int64.to_int v
-  | _ -> ()
+let invalidate_caches t = Array.iter Hashtbl.reset t.e_caches
 
 (* ------------------------------------------------------------------ *)
 (* Enclave API *)
@@ -256,79 +492,89 @@ let admission_steps (p : P.t) =
   | Some n -> min n p.P.step_limit
   | None -> p.P.step_limit
 
+(* Contract and budget validation shared by both bytecode engines.
+   Returns the concurrency class on success. *)
+let validate_bytecode t sources ~per_step_ns (p : P.t) =
+  match Verifier.verify p with
+  | Error e -> Error (Rejected_bytecode e)
+  | Ok () ->
+    let problems = ref [] in
+    Array.iter
+      (fun (s : P.scalar_slot) ->
+        match s.P.s_entity with
+        | P.Packet ->
+          if packet_field_code s.P.s_name < 0 then
+            problems := Printf.sprintf "unknown packet field %S" s.P.s_name :: !problems
+          else if s.P.s_access = P.Read_write && not (packet_field_writable s.P.s_name)
+          then
+            problems :=
+              Printf.sprintf "packet field %S is not writable" s.P.s_name :: !problems
+        | P.Message -> (
+          match Hashtbl.find_opt sources s.P.s_name with
+          | Some (Metadata_int _ | Metadata_flag _) when s.P.s_access = P.Read_write ->
+            problems :=
+              Printf.sprintf "metadata-sourced message field %S cannot be writable"
+                s.P.s_name
+              :: !problems
+          | Some _ | None -> ())
+        | P.Global -> ())
+      p.P.scalar_slots;
+    Array.iter
+      (fun (a : P.array_slot) ->
+        match a.P.a_entity with
+        | P.Global -> ()
+        | P.Packet | P.Message ->
+          problems :=
+            Printf.sprintf "array %S: only global arrays are supported" a.P.a_name
+            :: !problems)
+      p.P.array_slots;
+    (match !problems with
+    | _ :: _ as ps -> Error (Bad_contract ps)
+    | [] ->
+      let steps = admission_steps p in
+      let m = t.e_cost_model in
+      let est_ns =
+        m.Cost.classify_ns +. m.Cost.marshal_ns +. (float_of_int steps *. per_step_ns)
+      in
+      if est_ns > t.e_budget_ns then
+        Error (Over_budget { est_ns; budget_ns = t.e_budget_ns; steps })
+      else Ok (concurrency_of_program p))
+
 let install_action_full t spec =
   if Hashtbl.mem t.e_actions spec.i_name then Error (Already_installed spec.i_name)
   else begin
     let sources = Hashtbl.create 8 in
     List.iter (fun (name, src) -> Hashtbl.replace sources name src) spec.i_msg_sources;
-    let validate () =
+    let build () =
       match spec.i_impl with
-      | Native _ -> Ok `Serial
+      | Native f -> Ok (`Serial, E_native f)
       | Interpreted p -> (
-        match Verifier.verify p with
-        | Error e -> Error (Rejected_bytecode e)
-        | Ok () ->
-          let dummy =
-            Packet.make ~id:0L
-              ~flow:
-                (Addr.five_tuple ~src:(Addr.endpoint 0 0) ~dst:(Addr.endpoint 0 0)
-                   ~proto:Addr.Tcp)
-              ~kind:Packet.Data ()
-          in
-          let problems = ref [] in
-          Array.iter
-            (fun (s : P.scalar_slot) ->
-              match s.P.s_entity with
-              | P.Packet ->
-                if packet_field_get dummy s.P.s_name = None then
-                  problems := Printf.sprintf "unknown packet field %S" s.P.s_name :: !problems
-                else if s.P.s_access = P.Read_write && not (packet_field_writable s.P.s_name)
-                then
-                  problems :=
-                    Printf.sprintf "packet field %S is not writable" s.P.s_name :: !problems
-              | P.Message -> (
-                match Hashtbl.find_opt sources s.P.s_name with
-                | Some (Metadata_int _ | Metadata_flag _) when s.P.s_access = P.Read_write ->
-                  problems :=
-                    Printf.sprintf "metadata-sourced message field %S cannot be writable"
-                      s.P.s_name
-                    :: !problems
-                | Some _ | None -> ())
-              | P.Global -> ())
-            p.P.scalar_slots;
-          Array.iter
-            (fun (a : P.array_slot) ->
-              match a.P.a_entity with
-              | P.Global -> ()
-              | P.Packet | P.Message ->
-                problems :=
-                  Printf.sprintf "array %S: only global arrays are supported" a.P.a_name
-                  :: !problems)
-            p.P.array_slots;
-          match !problems with
-          | _ :: _ as ps -> Error (Bad_contract ps)
-          | [] ->
-            let steps = admission_steps p in
-            let est_ns = Cost.admission_ns t.e_cost_model ~steps in
-            if est_ns > t.e_budget_ns then
-              Error (Over_budget { est_ns; budget_ns = t.e_budget_ns; steps })
-            else Ok (concurrency_of_program p))
+        match validate_bytecode t sources ~per_step_ns:t.e_cost_model.Cost.per_step_ns p with
+        | Error _ as e -> e
+        | Ok concurrency ->
+          Ok (concurrency, E_interp (p, Interp.make_scratch p, make_plan p sources)))
+      | Compiled p -> (
+        match
+          validate_bytecode t sources ~per_step_ns:t.e_cost_model.Cost.compiled_step_ns p
+        with
+        | Error _ as e -> e
+        | Ok concurrency -> (
+          match Eden_bytecode.Compiled.compile p with
+          | Error e -> Error (Rejected_bytecode e)
+          | Ok c -> Ok (concurrency, E_compiled (c, make_plan p sources))))
     in
-    match validate () with
+    match build () with
     | Error _ as e -> e
-    | Ok concurrency ->
+    | Ok (concurrency, engine) ->
       Hashtbl.replace t.e_actions spec.i_name
         {
           a_name = spec.i_name;
-          a_impl = spec.i_impl;
           a_state = State.create ();
           a_msg_sources = sources;
           a_concurrency = concurrency;
-          a_scratch =
-            (match spec.i_impl with
-            | Interpreted p -> Some (Interp.make_scratch p)
-            | Native _ -> None);
+          a_engine = engine;
         };
+      invalidate_caches t;
       Ok ()
   end
 
@@ -336,9 +582,15 @@ let install_action t spec =
   Result.map_error install_error_to_string (install_action_full t spec)
 
 let remove_action t name =
-  let existed = Hashtbl.mem t.e_actions name in
-  Hashtbl.remove t.e_actions name;
-  existed
+  if not (Hashtbl.mem t.e_actions name) then None
+  else begin
+    Hashtbl.remove t.e_actions name;
+    let dropped =
+      Hashtbl.fold (fun _ tbl acc -> acc + Table.remove_action_rules tbl name) t.e_tables 0
+    in
+    invalidate_caches t;
+    Some dropped
+  end
 
 let action_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.e_actions [] |> List.sort compare
 
@@ -349,6 +601,10 @@ let add_table t =
   let id = t.e_next_table in
   t.e_next_table <- id + 1;
   Hashtbl.replace t.e_tables id (Table.create ~id);
+  let n = Array.length t.e_caches in
+  if id >= n then
+    t.e_caches <-
+      Array.init (id + 1) (fun i -> if i < n then t.e_caches.(i) else Hashtbl.create 64);
   id
 
 let add_table_rule t ?(table = 0) ~pattern ~action () =
@@ -359,13 +615,17 @@ let add_table_rule t ?(table = 0) ~pattern ~action () =
       Error (Printf.sprintf "action %S is not installed" action)
     else begin
       let rule = Table.add_rule tbl ~pattern ~action in
+      invalidate_caches t;
       Ok rule.Table.rule_id
     end
 
 let remove_table_rule t ?(table = 0) rule_id =
   match Hashtbl.find_opt t.e_tables table with
   | None -> false
-  | Some tbl -> Table.remove_rule tbl rule_id
+  | Some tbl ->
+    let removed = Table.remove_rule tbl rule_id in
+    if removed then invalidate_caches t;
+    removed
 
 let tables t =
   Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.e_tables []
@@ -395,9 +655,9 @@ let get_global_array t ~action name =
 (* Data path *)
 
 let flow_msg_id t flow =
-  match Addr.Flow_table.find_opt t.e_flow_ids flow with
-  | Some id -> id
-  | None ->
+  match Addr.Flow_table.find t.e_flow_ids flow with
+  | id -> id
+  | exception Not_found ->
     let id = t.e_next_flow_id in
     t.e_next_flow_id <- Int64.add id 1L;
     Addr.Flow_table.replace t.e_flow_ids flow id;
@@ -405,89 +665,90 @@ let flow_msg_id t flow =
 
 let record_fault t action fault now =
   t.e_counters.faults <- t.e_counters.faults + 1;
-  let record = { fr_action = action; fr_fault = fault; fr_time = now } in
-  let keep = 99 in
-  let rec take n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | x :: rest -> x :: take (n - 1) rest
-  in
-  t.e_faults <- record :: take keep t.e_faults
+  t.e_faults.(t.e_fault_next) <- Some { fr_action = action; fr_fault = fault; fr_time = now };
+  t.e_fault_next <- (t.e_fault_next + 1) mod fault_ring_capacity;
+  if t.e_fault_count < fault_ring_capacity then t.e_fault_count <- t.e_fault_count + 1
 
-let msg_source a name =
-  match Hashtbl.find_opt a.a_msg_sources name with Some s -> s | None -> Stateful 0L
+(* Copy-in per the plan; elided slots keep whatever the buffer holds
+   (the program provably never reads them, and the plan never publishes
+   them). *)
+let marshal_in a plan pkt md msg_id ~now =
+  let s = plan.pl_scalars in
+  for i = 0 to Array.length plan.pl_in - 1 do
+    match plan.pl_in.(i) with
+    | In_zero -> ()
+    | In_pkt code -> s.(i) <- packet_field_by_code pkt code
+    | In_msg_state (field, default) ->
+      s.(i) <- State.msg_get a.a_state ~msg:msg_id ~field ~default ~now
+    | In_msg_meta_int field -> s.(i) <- Metadata.int_field field ~default:0L md
+    | In_msg_meta_flag (field, expected) ->
+      s.(i) <- (if Metadata.str_field_is field ~expected md then 1L else 0L)
+    | In_global name -> s.(i) <- State.global_get a.a_state name
+  done;
+  for i = 0 to Array.length plan.pl_abind - 1 do
+    match plan.pl_abind.(i) with
+    | A_scratch ->
+      let live = plan.pl_live.(i) in
+      Array.blit live 0 plan.pl_arrays.(i) 0 (Array.length live)
+    | A_alias | A_inplace -> ()
+  done
 
-let msg_scalar_in a md msg_id name ~now =
-  match msg_source a name with
-  | Stateful default -> State.msg_get a.a_state ~msg:msg_id ~field:name ~default ~now
-  | Metadata_int field -> Option.value ~default:0L (Metadata.find_int field md)
-  | Metadata_flag (field, expected) -> (
-    match Metadata.find_str field md with
-    | Some v when String.equal v expected -> 1L
-    | Some _ | None -> 0L)
+(* Publish on success only: writable scalars the program stored, plus
+   scratch arrays blitted back over the live binding (the binding itself
+   is unchanged, so dependent plans need not rebind). *)
+let marshal_out a plan out msg_id ~now =
+  let s = plan.pl_scalars in
+  for i = 0 to Array.length plan.pl_out - 1 do
+    match plan.pl_out.(i) with
+    | Out_none -> ()
+    | Out_pkt code -> apply_packet_field_code out code s.(i)
+    | Out_msg field -> State.msg_set a.a_state ~msg:msg_id ~field s.(i) ~now
+    | Out_global name -> State.global_set a.a_state name s.(i)
+  done;
+  for i = 0 to Array.length plan.pl_abind - 1 do
+    match plan.pl_abind.(i) with
+    | A_scratch ->
+      let live = plan.pl_live.(i) in
+      Array.blit plan.pl_arrays.(i) 0 live 0 (Array.length live)
+    | A_alias | A_inplace -> ()
+  done
 
-(* Run one interpreted action over a packet: copy-in, execute, copy-out. *)
-let run_interpreted t a (p : P.t) pkt md msg_id out ~now =
-  let scalars =
-    Array.map
-      (fun (s : P.scalar_slot) ->
-        match s.P.s_entity with
-        | P.Packet -> Option.value ~default:0L (packet_field_get pkt s.P.s_name)
-        | P.Message -> msg_scalar_in a md msg_id s.P.s_name ~now
-        | P.Global -> State.global_get a.a_state s.P.s_name)
-      p.P.scalar_slots
-  in
-  let arrays =
-    Array.map
-      (fun (slot : P.array_slot) ->
-        let live = State.global_array a.a_state slot.P.a_name in
-        (* Writers get a consistent copy; read-only slots may alias (the
-           verifier guarantees the program cannot store through them). *)
-        if slot.P.a_access = P.Read_write then Array.copy live else live)
-      p.P.array_slots
-  in
-  (* Bounds proofs behind unchecked opcodes rely on [a_min_len]; if the
-     backing state has not been sized yet (global arrays default to
-     empty), refuse this invocation fail-open instead of running with a
-     broken premise. *)
-  let undersized = ref None in
-  Array.iteri
-    (fun i (slot : P.array_slot) ->
-      if !undersized = None && Array.length arrays.(i) < slot.P.a_min_len then
-        undersized :=
-          Some
-            (Interp.Undersized_env_array
-               { slot = i; length = Array.length arrays.(i); min_len = slot.P.a_min_len }))
-    p.P.array_slots;
-  match !undersized with
+let run_interpreted t a p scratch plan pkt md msg_id out ~now =
+  rebind_plan plan a.a_state;
+  match plan.pl_undersized with
   | Some fault -> record_fault t a.a_name fault now
   | None -> (
-  let env = Interp.make_env p ~scalars ~arrays in
-  Cost.Accum.add_marshal t.e_cost t.e_cost_model;
-  match Interp.run ?scratch:a.a_scratch p ~env ~now ~rng:t.e_rng with
-  | Error (fault, stats) ->
-    t.e_counters.interp_steps <- t.e_counters.interp_steps + stats.Interp.steps;
-    Cost.Accum.add_interp t.e_cost t.e_cost_model ~steps:stats.Interp.steps;
-    record_fault t a.a_name fault now
-  | Ok stats ->
-    t.e_counters.interp_steps <- t.e_counters.interp_steps + stats.Interp.steps;
-    Cost.Accum.add_interp t.e_cost t.e_cost_model ~steps:stats.Interp.steps;
-    (* Publish writable state and packet outputs. *)
-    Array.iteri
-      (fun i (s : P.scalar_slot) ->
-        if s.P.s_access = P.Read_write then begin
-          let v = env.Interp.scalars.(i) in
-          match s.P.s_entity with
-          | P.Packet -> apply_packet_field out s.P.s_name v
-          | P.Message -> State.msg_set a.a_state ~msg:msg_id ~field:s.P.s_name v ~now
-          | P.Global -> State.global_set a.a_state s.P.s_name v
-        end)
-      p.P.scalar_slots;
-    Array.iteri
-      (fun i (slot : P.array_slot) ->
-        if slot.P.a_access = P.Read_write then
-          State.global_array_set a.a_state slot.P.a_name env.Interp.arrays.(i))
-      p.P.array_slots)
+    marshal_in a plan pkt md msg_id ~now;
+    Cost.Accum.add_marshal t.e_cost t.e_cost_model;
+    match Interp.run ~scratch p ~env:plan.pl_env ~now ~rng:t.e_rng with
+    | Error (fault, stats) ->
+      t.e_counters.interp_steps <- t.e_counters.interp_steps + stats.Interp.steps;
+      Cost.Accum.add_interp t.e_cost t.e_cost_model ~steps:stats.Interp.steps;
+      record_fault t a.a_name fault now
+    | Ok stats ->
+      t.e_counters.interp_steps <- t.e_counters.interp_steps + stats.Interp.steps;
+      Cost.Accum.add_interp t.e_cost t.e_cost_model ~steps:stats.Interp.steps;
+      marshal_out a plan out msg_id ~now)
+
+let run_compiled t a c plan pkt md msg_id out ~now =
+  rebind_plan plan a.a_state;
+  match plan.pl_undersized with
+  | Some fault -> record_fault t a.a_name fault now
+  | None -> (
+    marshal_in a plan pkt md msg_id ~now;
+    Cost.Accum.add_marshal t.e_cost t.e_cost_model;
+    t.e_counters.compiled_invocations <- t.e_counters.compiled_invocations + 1;
+    match Eden_bytecode.Compiled.exec c ~env:plan.pl_env ~now ~rng:t.e_rng with
+    | Some fault ->
+      let steps = Eden_bytecode.Compiled.last_steps c in
+      t.e_counters.interp_steps <- t.e_counters.interp_steps + steps;
+      Cost.Accum.add_compiled t.e_cost t.e_cost_model ~steps;
+      record_fault t a.a_name fault now
+    | None ->
+      let steps = Eden_bytecode.Compiled.last_steps c in
+      t.e_counters.interp_steps <- t.e_counters.interp_steps + steps;
+      Cost.Accum.add_compiled t.e_cost t.e_cost_model ~steps;
+      marshal_out a plan out msg_id ~now)
 
 let run_native t a f pkt md msg_id out ~now =
   t.e_counters.native_invocations <- t.e_counters.native_invocations + 1;
@@ -506,6 +767,46 @@ let run_native t a f pkt md msg_id out ~now =
   f ctx
 
 let max_table_hops = 8
+
+(* Table walk with the per-flow match-action cache: the resolution of a
+   class vector at a table — which rule fires and which installed action
+   it names — is invariant until the controller changes the rule or
+   action set, so it is memoised per table and the steady-state lookup
+   is one hash probe with no list scan or pattern match. *)
+let rec walk t ~now pkt md msg_id classes out table_id hops =
+  if hops < max_table_hops && table_id >= 0 && table_id < Array.length t.e_caches then begin
+    let cache = t.e_caches.(table_id) in
+    let entry =
+      match Hashtbl.find cache classes with
+      | e -> e
+      | exception Not_found ->
+        let e =
+          match Hashtbl.find_opt t.e_tables table_id with
+          | None -> C_none
+          | Some tbl -> (
+            match Table.lookup tbl classes with
+            | None -> C_none
+            | Some rule -> (
+              match Hashtbl.find_opt t.e_actions rule.Table.action with
+              | None -> C_none
+              | Some a -> C_run (rule, a)))
+        in
+        if Hashtbl.length cache >= cache_cap then Hashtbl.reset cache;
+        Hashtbl.replace cache classes e;
+        e
+    in
+    match entry with
+    | C_none -> ()
+    | C_run (_rule, a) ->
+      t.e_counters.invocations <- t.e_counters.invocations + 1;
+      out.o_goto <- -1;
+      (match a.a_engine with
+      | E_interp (p, scratch, plan) -> run_interpreted t a p scratch plan pkt md msg_id out ~now
+      | E_compiled (c, plan) -> run_compiled t a c plan pkt md msg_id out ~now
+      | E_native f -> run_native t a f pkt md msg_id out ~now);
+      if out.o_goto >= 0 && out.o_goto <> table_id then
+        walk t ~now pkt md msg_id classes out out.o_goto (hops + 1)
+  end
 
 (* [charge_classify] is false for the non-leading packets of a batch
    message group: batching amortizes classification and the metadata
@@ -531,28 +832,9 @@ let process_one t ~now ~charge_classify (pkt : Packet.t) =
   pkt.Packet.metadata <- md;
   let msg_id = match Metadata.msg_id md with Some id -> id | None -> flow_id in
   let classes = Metadata.classes md in
-  let out = fresh_outputs pkt in
-  (* Walk the match-action tables starting at table 0. *)
-  let rec walk table_id hops =
-    if hops >= max_table_hops then ()
-    else
-      match Hashtbl.find_opt t.e_tables table_id with
-      | None -> ()
-      | Some tbl -> (
-        match Table.lookup tbl classes with
-        | None -> ()
-        | Some rule -> (
-          match Hashtbl.find_opt t.e_actions rule.Table.action with
-          | None -> ()
-          | Some a ->
-            c.invocations <- c.invocations + 1;
-            out.o_goto <- -1;
-            (match a.a_impl with
-            | Interpreted p -> run_interpreted t a p pkt md msg_id out ~now
-            | Native f -> run_native t a f pkt md msg_id out ~now);
-            if out.o_goto >= 0 && out.o_goto <> table_id then walk out.o_goto (hops + 1)))
-  in
-  walk 0 0;
+  let out = t.e_out in
+  reset_outputs out pkt;
+  walk t ~now pkt md msg_id classes out 0 0;
   t.e_last_cost_ns <- Cost.Accum.overhead_total_ns t.e_cost -. cost_before;
   if not t.e_enforce then Forward { queue = None; charge = Packet.wire_size pkt }
   else if out.o_drop then begin

@@ -51,6 +51,11 @@ end
 
 type impl =
   | Interpreted of Eden_bytecode.Program.t
+  | Compiled of Eden_bytecode.Program.t
+      (** Same bytecode, verified identically, but translated to threaded
+          closure code at install time ({!Eden_bytecode.Compiled}) —
+          observationally identical to [Interpreted], without the
+          per-step dispatch cost. *)
   | Native of (Native_ctx.t -> unit)
 
 (** Where a message-entity scalar comes from when marshalled into an
@@ -74,8 +79,9 @@ type counters = {
   mutable dropped : int;
   mutable invocations : int;
   mutable native_invocations : int;
+  mutable compiled_invocations : int;
   mutable faults : int;
-  mutable interp_steps : int;
+  mutable interp_steps : int;  (** Steps retired by either bytecode engine. *)
 }
 
 type fault_record = {
@@ -134,7 +140,11 @@ val install_action_full : t -> install_spec -> (unit, install_error) result
 val install_action : t -> install_spec -> (unit, string) result
 (** [install_action_full] with the error rendered as a string. *)
 
-val remove_action : t -> string -> bool
+val remove_action : t -> string -> int option
+(** [None] when no such action is installed.  [Some n] on success, where
+    [n] counts the table rules that named the action and were dropped
+    with it — the tables never hold dangling references. *)
+
 val action_names : t -> string list
 
 val concurrency_of : t -> string -> [ `Parallel | `Per_message | `Serial ] option
@@ -165,8 +175,10 @@ val set_global_array : t -> action:string -> string -> int64 array -> (unit, str
 val get_global_array : t -> action:string -> string -> int64 array option
 
 val counters : t -> counters
+
 val faults : t -> fault_record list
-(** Most recent first; bounded. *)
+(** Most recent first; bounded (a fixed-size ring keeps recording O(1)
+    regardless of fault volume). *)
 
 val cost : t -> Cost.Accum.t
 val cost_model : t -> Cost.model

@@ -9,6 +9,7 @@ type t = {
   global_scalars : (string, int64) Hashtbl.t;
   global_arrays : (string, int64 array) Hashtbl.t;
   messages : (int64, msg_entry) Hashtbl.t;
+  mutable array_version : int;
 }
 
 let create () =
@@ -16,28 +17,40 @@ let create () =
     global_scalars = Hashtbl.create 16;
     global_arrays = Hashtbl.create 8;
     messages = Hashtbl.create 256;
+    array_version = 0;
   }
 
-let global_get t name = Option.value ~default:0L (Hashtbl.find_opt t.global_scalars name)
+(* Reads use [Hashtbl.find] + [Not_found] rather than [find_opt]: these
+   run per packet per slot and must not allocate an option each time. *)
+let global_get t name =
+  match Hashtbl.find t.global_scalars name with v -> v | exception Not_found -> 0L
+
 let global_set t name v = Hashtbl.replace t.global_scalars name v
-let global_array t name = Option.value ~default:[||] (Hashtbl.find_opt t.global_arrays name)
-let global_array_set t name a = Hashtbl.replace t.global_arrays name a
+
+let global_array t name =
+  match Hashtbl.find t.global_arrays name with a -> a | exception Not_found -> [||]
+
+let global_array_set t name a =
+  t.array_version <- t.array_version + 1;
+  Hashtbl.replace t.global_arrays name a
+
+let array_version t = t.array_version
 
 let msg_entry t msg now =
-  match Hashtbl.find_opt t.messages msg with
-  | Some e ->
+  match Hashtbl.find t.messages msg with
+  | e ->
     e.last_touch <- now;
     e
-  | None ->
+  | exception Not_found ->
     let e = { fields = Hashtbl.create 4; last_touch = now } in
     Hashtbl.replace t.messages msg e;
     e
 
 let msg_get t ~msg ~field ~default ~now =
   let e = msg_entry t msg now in
-  match Hashtbl.find_opt e.fields field with
-  | Some v -> v
-  | None ->
+  match Hashtbl.find e.fields field with
+  | v -> v
+  | exception Not_found ->
     Hashtbl.replace e.fields field default;
     default
 

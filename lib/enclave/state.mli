@@ -27,6 +27,13 @@ val global_array : t -> string -> int64 array
 
 val global_array_set : t -> string -> int64 array -> unit
 
+val array_version : t -> int
+(** Incremented by every {!global_array_set}.  The enclave's marshal
+    plans cache aliases into the live arrays; a version mismatch tells
+    them to rebind before the next invocation.  In-place mutation of an
+    array obtained from {!global_array} does not change the version (the
+    binding is unchanged). *)
+
 (** {2 Per-message state} *)
 
 val msg_get : t -> msg:int64 -> field:string -> default:int64 -> now:Eden_base.Time.t -> int64

@@ -31,6 +31,11 @@ let remove_rule t rule_id =
 
 let rules t = t.rules
 
+let remove_action_rules t action =
+  let before = List.length t.rules in
+  t.rules <- List.filter (fun r -> not (String.equal r.action action)) t.rules;
+  before - List.length t.rules
+
 let lookup t classes =
   List.find_opt
     (fun r -> List.exists (Class_name.Pattern.matches r.pattern) classes)

@@ -20,6 +20,12 @@ val id : t -> int
 
 val add_rule : t -> pattern:Eden_base.Class_name.Pattern.t -> action:string -> rule
 val remove_rule : t -> int -> bool
+
+val remove_action_rules : t -> string -> int
+(** Drop every rule pointing at the named action; returns how many were
+    removed.  Used when an action is uninstalled so the table never
+    holds dangling references. *)
+
 val rules : t -> rule list
 (** In match order. *)
 

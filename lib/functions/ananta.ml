@@ -86,6 +86,7 @@ let install ?(name = "ananta") ?(variant = `Interpreted) ?(pattern = Pattern.any
   let impl =
     match variant with
     | `Interpreted -> Enclave.Interpreted (program ())
+    | `Compiled -> Enclave.Compiled (program ())
     | `Native -> Enclave.Native native
   in
   let* () =

@@ -22,7 +22,7 @@ val dip_table : labels:int list -> weights:int list -> int64 array
 
 val install :
   ?name:string ->
-  ?variant:[ `Interpreted | `Native ] ->
+  ?variant:[ `Interpreted | `Compiled | `Native ] ->
   ?pattern:Eden_base.Class_name.Pattern.t ->
   Eden_enclave.Enclave.t ->
   dips:int64 array ->

@@ -46,6 +46,7 @@ let install ?(name = "app_priority") ?(variant = `Interpreted) ?(pattern = defau
   let impl =
     match variant with
     | `Interpreted -> Enclave.Interpreted (program ())
+    | `Compiled -> Enclave.Compiled (program ())
     | `Native -> Enclave.Native (native_for ~match_msg_type)
   in
   let* () =

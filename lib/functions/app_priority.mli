@@ -13,7 +13,7 @@ val program : unit -> Eden_bytecode.Program.t
 
 val install :
   ?name:string ->
-  ?variant:[ `Interpreted | `Native ] ->
+  ?variant:[ `Interpreted | `Compiled | `Native ] ->
   ?pattern:Eden_base.Class_name.Pattern.t ->
   Eden_enclave.Enclave.t ->
   match_msg_type:string ->

@@ -78,6 +78,7 @@ let install ?(name = "pias") ?(variant = `Interpreted) enclave ~thresholds =
     let impl =
       match variant with
       | `Interpreted -> Enclave.Interpreted (program ())
+      | `Compiled -> Enclave.Compiled (program ())
       | `Native -> Enclave.Native native
     in
     let* () =

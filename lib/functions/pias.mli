@@ -19,7 +19,7 @@ val priority_for : thresholds:int64 array -> size:int64 -> int
 
 val install :
   ?name:string ->
-  ?variant:[ `Interpreted | `Native ] ->
+  ?variant:[ `Interpreted | `Compiled | `Native ] ->
   Eden_enclave.Enclave.t ->
   thresholds:int64 array ->
   (unit, string) result

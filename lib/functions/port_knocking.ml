@@ -67,6 +67,7 @@ let install ?(name = "port_knocking") ?(variant = `Interpreted) enclave ~knocks
     let impl =
       match variant with
       | `Interpreted -> Enclave.Interpreted (program ())
+      | `Compiled -> Enclave.Compiled (program ())
       | `Native -> Enclave.Native native
     in
     let* () =

@@ -17,7 +17,7 @@ val native : Eden_enclave.Enclave.Native_ctx.t -> unit
 
 val install :
   ?name:string ->
-  ?variant:[ `Interpreted | `Native ] ->
+  ?variant:[ `Interpreted | `Compiled | `Native ] ->
   Eden_enclave.Enclave.t ->
   knocks:int list ->
   protected_port:int ->

@@ -70,6 +70,7 @@ let install ?(name = "pulsar") ?(variant = `Interpreted) enclave ~queue_map =
   let impl =
     match variant with
     | `Interpreted -> Enclave.Interpreted (program ())
+    | `Compiled -> Enclave.Compiled (program ())
     | `Native -> Enclave.Native native
   in
   let* () =

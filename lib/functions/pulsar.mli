@@ -15,7 +15,7 @@ val native : Eden_enclave.Enclave.Native_ctx.t -> unit
 
 val install :
   ?name:string ->
-  ?variant:[ `Interpreted | `Native ] ->
+  ?variant:[ `Interpreted | `Compiled | `Native ] ->
   Eden_enclave.Enclave.t ->
   queue_map:int array ->
   (unit, string) result

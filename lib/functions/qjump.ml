@@ -48,6 +48,7 @@ let install ?(name = "qjump") ?(variant = `Interpreted) enclave ~levels =
     let impl =
       match variant with
       | `Interpreted -> Enclave.Interpreted (program ())
+      | `Compiled -> Enclave.Compiled (program ())
       | `Native -> Enclave.Native native
     in
     let* () =

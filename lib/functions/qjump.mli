@@ -19,7 +19,7 @@ val metadata_for : level:int -> Eden_base.Metadata.t
 
 val install :
   ?name:string ->
-  ?variant:[ `Interpreted | `Native ] ->
+  ?variant:[ `Interpreted | `Compiled | `Native ] ->
   Eden_enclave.Enclave.t ->
   levels:int ->
   (unit, string) result

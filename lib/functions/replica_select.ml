@@ -51,6 +51,7 @@ let install ?(name = "replica_select") ?(variant = `Interpreted)
   let impl =
     match variant with
     | `Interpreted -> Enclave.Interpreted (program ())
+    | `Compiled -> Enclave.Compiled (program ())
     | `Native -> Enclave.Native native
   in
   let* () =

@@ -18,7 +18,7 @@ val replica_for : n_replicas:int -> key_hash:int -> int
 
 val install :
   ?name:string ->
-  ?variant:[ `Interpreted | `Native ] ->
+  ?variant:[ `Interpreted | `Compiled | `Native ] ->
   ?pattern:Eden_base.Class_name.Pattern.t ->
   Eden_enclave.Enclave.t ->
   replica_labels:int array ->

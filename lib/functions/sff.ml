@@ -52,6 +52,7 @@ let install ?(name = "sff") ?(variant = `Interpreted) enclave ~thresholds =
     let impl =
       match variant with
       | `Interpreted -> Enclave.Interpreted (program ())
+      | `Compiled -> Enclave.Compiled (program ())
       | `Native -> Enclave.Native native
     in
     let* () =

@@ -18,7 +18,7 @@ val metadata_for : size:int -> Eden_base.Metadata.t
 
 val install :
   ?name:string ->
-  ?variant:[ `Interpreted | `Native ] ->
+  ?variant:[ `Interpreted | `Compiled | `Native ] ->
   Eden_enclave.Enclave.t ->
   thresholds:int64 array ->
   (unit, string) result

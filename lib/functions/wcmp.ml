@@ -91,6 +91,8 @@ let install ?(name = "wcmp") ?(variant = `Packet) enclave ~matrix =
     match variant with
     | `Packet -> Enclave.Interpreted (program ())
     | `Message -> Enclave.Interpreted (message_program ())
+    | `Compiled -> Enclave.Compiled (program ())
+    | `Compiled_message -> Enclave.Compiled (message_program ())
     | `Native -> Enclave.Native native
   in
   let* () =

@@ -29,7 +29,7 @@ val ecmp_matrix : labels:int list -> int64 array
 
 val install :
   ?name:string ->
-  ?variant:[ `Packet | `Message | `Native ] ->
+  ?variant:[ `Packet | `Message | `Compiled | `Compiled_message | `Native ] ->
   Eden_enclave.Enclave.t ->
   matrix:int64 array ->
   (unit, string) result
