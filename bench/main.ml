@@ -8,10 +8,10 @@
      dune exec bench/main.exe -- micro --json BENCH_micro.json
 
    Sections: table1 table2 listings footprint micro analysis fig9 fig10
-             fig11 fig12 ablations
+             fig11 fig12 resilience ablations
 
    [--json FILE] additionally writes the measured rows of the Bechamel
-   sections (micro, analysis) to FILE as a JSON array of
+   sections (micro, analysis, resilience) to FILE as a JSON array of
    {section, name, params, ns_per_op, steps} objects, so CI can diff
    runs without scraping the human tables. *)
 
@@ -24,6 +24,8 @@ module Interp = Eden_bytecode.Interp
 module P = Eden_bytecode.Program
 module Stage = Eden_stage.Stage
 module Builtin = Eden_stage.Builtin
+module Channel = Eden_controller.Channel
+module Controller = Eden_controller.Controller
 open Eden_experiments
 
 let section_header title =
@@ -624,6 +626,123 @@ let ablations quick =
   ablation_fault_isolation ()
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: the robustness machinery must be free on the fault-free
+   hot path.  Three measured claims:
+
+   - the per-action circuit breaker, OFF by default, adds nothing to
+     [process]; enabled-but-healthy it adds only the admit/record pair,
+     and a quarantined action is *cheaper* than a healthy one (the whole
+     point of quarantine is not paying for a failing invocation);
+   - a control-plane op through the fallible channel costs only op-id
+     memoization over the direct enclave call, and the full controller
+     broadcast (retry wrapper + desired store + two-phase commit) stays
+     in the same order of magnitude — none of it is per-packet;
+   - the breaker's bookkeeping allocates nothing: the enabled-healthy
+     data path stays within a few words of the disabled one, asserted
+     like the main allocation budget. *)
+
+let breaker_allocation_budget = 8.0
+
+let resilience () =
+  section_header "Resilience: fault machinery off the fault-free hot path";
+  let open Bechamel in
+  let pkt = bench_packet () in
+  let e_off = pias_process_enclave `Compiled in
+  let e_on = pias_process_enclave `Compiled in
+  Enclave.set_breaker e_on (Some Enclave.default_breaker);
+  (* An action that faults on every invocation (division by a zeroed
+     global), so the breaker trips and steady state is the quarantined
+     fall-through. *)
+  let e_quar =
+    let open Eden_lang in
+    let schema = Schema.with_standard_packet ~global:[ Schema.field "D" ] () in
+    let act = Dsl.(action "divider" (set_pkt "Priority" (int 6 / glob "D"))) in
+    let program =
+      match Compile.compile schema act with
+      | Ok p -> p
+      | Error e -> invalid_arg (Compile.error_to_string e)
+    in
+    let e = Enclave.create ~host:9 () in
+    let ok = function Ok _ -> () | Error msg -> invalid_arg msg in
+    ok
+      (Enclave.install_action e
+         { Enclave.i_name = "divider"; i_impl = Enclave.Compiled program; i_msg_sources = [] });
+    ok (Enclave.set_global e ~action:"divider" "D" 0L);
+    ok (Enclave.add_table_rule e ~pattern:Eden_base.Class_name.Pattern.any ~action:"divider" ());
+    e
+  in
+  Enclave.set_breaker e_quar
+    (Some { Enclave.default_breaker with Enclave.br_cooldown = Eden_base.Time.ms 100_000 });
+  for i = 1 to 100 do
+    ignore (Enclave.process e_quar ~now:(Eden_base.Time.us i) pkt)
+  done;
+  assert (Enclave.breaker_state e_quar "divider" = Some `Open);
+  let e_direct = pias_process_enclave `Compiled in
+  let ch = Channel.create (pias_process_enclave `Compiled) in
+  let ch_op_id = ref 0L in
+  let ctl = Controller.create () in
+  Controller.register_enclave ctl (Enclave.create ~host:7 ());
+  (match Controller.install_action_everywhere ctl (Eden_functions.Pias.spec ()) with
+  | Ok () -> ()
+  | Error msg -> invalid_arg msg);
+  let tests =
+    [
+      Test.make ~name:"process/breaker off (default)"
+        (Staged.stage (fun () -> ignore (Enclave.process e_off ~now:(Eden_base.Time.us 1) pkt)));
+      Test.make ~name:"process/breaker on, healthy"
+        (Staged.stage (fun () -> ignore (Enclave.process e_on ~now:(Eden_base.Time.us 1) pkt)));
+      Test.make ~name:"process/breaker on, quarantined"
+        (Staged.stage (fun () ->
+             ignore (Enclave.process e_quar ~now:(Eden_base.Time.us 200) pkt)));
+      Test.make ~name:"control/set_global direct"
+        (Staged.stage (fun () ->
+             ignore (Enclave.set_global e_direct ~action:"pias" "K" 1L)));
+      Test.make ~name:"control/set_global via channel"
+        (Staged.stage (fun () ->
+             ch_op_id := Int64.add !ch_op_id 1L;
+             ignore
+               (Channel.send ch ~op_id:!ch_op_id ~gen:1
+                  (Channel.Set_global { action = "pias"; name = "K"; value = 1L }))));
+      Test.make ~name:"control/set_global_everywhere"
+        (Staged.stage (fun () ->
+             ignore (Controller.set_global_everywhere ctl ~action:"pias" "K" 1L)));
+    ]
+  in
+  let results = run_bechamel tests in
+  List.iter
+    (fun (name, ns) ->
+      Printf.printf "  %-40s %10.1f ns/op\n" name ns;
+      add_json ~section:"resilience" name ns)
+    results;
+  (* Allocation: enabling the breaker must not put allocation on the
+     per-packet path. *)
+  let words_per_packet e =
+    for i = 1 to 1_000 do
+      ignore (Enclave.process e ~now:(Eden_base.Time.us i) pkt)
+    done;
+    let n = 10_000 in
+    let before = Gc.minor_words () in
+    for i = 1 to n do
+      ignore (Enclave.process e ~now:(Eden_base.Time.us (1_000 + i)) pkt)
+    done;
+    (Gc.minor_words () -. before) /. float_of_int n
+  in
+  let off = words_per_packet e_off in
+  let on = words_per_packet e_on in
+  let delta = on -. off in
+  Printf.printf
+    "\nallocation (minor words/packet): breaker off %.1f, breaker on %.1f, delta %.1f \
+     (budget %.0f)\n"
+    off on delta breaker_allocation_budget;
+  if delta > breaker_allocation_budget then begin
+    Printf.printf
+      "ALLOCATION REGRESSION: the enabled-healthy breaker path allocates %.1f \
+       words/packet over the disabled one\n"
+      delta;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let () =
@@ -685,6 +804,7 @@ let () =
     in
     Fig12.print (Fig12.run ~params ())
   end;
+  if want "resilience" then resilience ();
   if want "ablations" then ablations quick;
   (match json_file with Some f -> write_json f | None -> ());
   Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

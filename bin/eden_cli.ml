@@ -295,6 +295,45 @@ let fig12_cmd =
   Cmd.v (Cmd.info "fig12" ~doc:"CPU overheads of the Eden data path (paper Fig. 12)")
     Term.(const run $ duration_ms)
 
+let chaos_cmd =
+  let seed =
+    Arg.(
+      value & opt int64 42L
+      & info [ "seed" ] ~doc:"Fault-schedule seed; the same seed replays the same run."
+          ~docv:"SEED")
+  in
+  let list =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the scenario names and exit.")
+  in
+  let scenario =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"Run only this scenario (default: all).")
+  in
+  let run list seed scenario =
+    if list then begin
+      List.iter print_endline Chaos.scenario_names;
+      `Ok ()
+    end
+    else
+      let reports =
+        match scenario with
+        | None -> Ok (Chaos.run_all ~seed ())
+        | Some name -> Result.map (fun r -> [ r ]) (Chaos.run ~seed name)
+      in
+      match reports with
+      | Error msg -> `Error (false, msg)
+      | Ok reports ->
+        Chaos.print reports;
+        if Chaos.all_passed reports then `Ok () else exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the scripted fault scenarios (partition, crash, duplicate delivery, fault \
+          storm) and check the convergence invariants")
+    Term.(ret (const run $ list $ seed $ scenario))
+
 (* ------------------------------------------------------------------ *)
 
 let main_cmd =
@@ -313,6 +352,7 @@ let main_cmd =
       fig10_cmd;
       fig11_cmd;
       fig12_cmd;
+      chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

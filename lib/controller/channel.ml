@@ -1,0 +1,237 @@
+module Enclave = Eden_enclave.Enclave
+module Time = Eden_base.Time
+module Rng = Eden_base.Rng
+module Pattern = Eden_base.Class_name.Pattern
+
+type op =
+  | Install_action of Enclave.install_spec
+  | Remove_action of string
+  | Add_table
+  | Add_rule of { table : int; pattern : Pattern.t; action : string }
+  | Remove_rule of { table : int; rule_id : int }
+  | Set_global of { action : string; name : string; value : int64 }
+  | Set_global_array of { action : string; name : string; value : int64 array }
+  | Commit_generation
+
+let op_to_string = function
+  | Install_action s -> "install_action " ^ s.Enclave.i_name
+  | Remove_action n -> "remove_action " ^ n
+  | Add_table -> "add_table"
+  | Add_rule r -> Printf.sprintf "add_rule %s -> %s @%d" (Pattern.to_string r.pattern) r.action r.table
+  | Remove_rule r -> Printf.sprintf "remove_rule #%d @%d" r.rule_id r.table
+  | Set_global g -> Printf.sprintf "set_global %s.%s" g.action g.name
+  | Set_global_array g -> Printf.sprintf "set_global_array %s.%s" g.action g.name
+  | Commit_generation -> "commit_generation"
+
+type fault =
+  | Drop
+  | Ack_lost
+  | Duplicate
+  | Delay of int
+  | Crash_restart
+
+let fault_to_string = function
+  | Drop -> "drop"
+  | Ack_lost -> "ack_lost"
+  | Duplicate -> "duplicate"
+  | Delay n -> Printf.sprintf "delay(%d)" n
+  | Crash_restart -> "crash_restart"
+
+type error =
+  | Lost
+  | Timeout
+  | Crashed
+  | Partitioned
+  | Rejected of string
+
+let error_to_string = function
+  | Lost -> "lost"
+  | Timeout -> "timeout"
+  | Crashed -> "enclave crashed"
+  | Partitioned -> "partitioned"
+  | Rejected msg -> "rejected: " ^ msg
+
+let is_transient = function Rejected _ -> false | Lost | Timeout | Crashed | Partitioned -> true
+
+(* An op held back by [Delay n]: delivered just before the [n]th
+   subsequent protocol interaction on this channel. *)
+type delayed = { dl_op_id : int64; dl_gen : int; dl_op : op; mutable dl_left : int }
+
+(* The memo table makes delivery exactly-once over an at-least-once
+   transport: retries and duplicates of an op id replay the recorded
+   outcome instead of re-applying.  It is soft state — an enclave restart
+   wipes it, which is exactly why the desired store, not the channel, is
+   the source of truth. *)
+let memo_cap = 65_536
+
+type t = {
+  ch_enclave : Enclave.t;
+  ch_rng : Rng.t;
+  mutable ch_partitioned : bool;
+  mutable ch_script : (int * fault) list;  (* delivery index -> fault *)
+  mutable ch_fault_rate : float;
+  mutable ch_seq : int;  (* delivery attempts (unpartitioned sends) *)
+  mutable ch_delayed : delayed list;  (* oldest first *)
+  ch_applied : (int64, (int64, string) result) Hashtbl.t;
+  mutable ch_acked_generation : int;
+  mutable ch_divergent : bool;
+  mutable ch_ops_sent : int;
+  mutable ch_faults_injected : int;
+  mutable ch_restarts_injected : int;
+}
+
+let create ?(seed = 0xFA17L) enclave =
+  {
+    ch_enclave = enclave;
+    ch_rng = Rng.create (Int64.add seed (Int64.of_int (Enclave.host enclave)));
+    ch_partitioned = false;
+    ch_script = [];
+    ch_fault_rate = 0.0;
+    ch_seq = 0;
+    ch_delayed = [];
+    ch_applied = Hashtbl.create 256;
+    ch_acked_generation = 0;
+    ch_divergent = false;
+    ch_ops_sent = 0;
+    ch_faults_injected = 0;
+    ch_restarts_injected = 0;
+  }
+
+let enclave t = t.ch_enclave
+let host t = Enclave.host t.ch_enclave
+let acked_generation t = t.ch_acked_generation
+let partitioned t = t.ch_partitioned
+let set_partitioned t b = t.ch_partitioned <- b
+let divergent t = t.ch_divergent
+let mark_divergent t = t.ch_divergent <- true
+let clear_divergent t = t.ch_divergent <- false
+let ops_sent t = t.ch_ops_sent
+let faults_injected t = t.ch_faults_injected
+let restarts_injected t = t.ch_restarts_injected
+let delayed_count t = List.length t.ch_delayed
+
+let script t faults = t.ch_script <- faults
+
+let set_fault_rate t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Channel.set_fault_rate: rate must be in [0, 1]";
+  t.ch_fault_rate <- p
+
+(* ------------------------------------------------------------------ *)
+(* Receiver side *)
+
+let apply t op : (int64, string) result =
+  let e = t.ch_enclave in
+  match op with
+  | Install_action spec -> (
+    match Enclave.install_action e spec with Ok () -> Ok 0L | Error m -> Error m)
+  | Remove_action name -> (
+    (* Removing an absent action is success: removes must stay idempotent
+       so rollback and reconciliation can repeat them safely. *)
+    match Enclave.remove_action e name with
+    | Some dropped -> Ok (Int64.of_int dropped)
+    | None -> Ok 0L)
+  | Add_table -> Ok (Int64.of_int (Enclave.add_table e))
+  | Add_rule { table; pattern; action } -> (
+    match Enclave.add_table_rule e ~table ~pattern ~action () with
+    | Ok rule_id -> Ok (Int64.of_int rule_id)
+    | Error m -> Error m)
+  | Remove_rule { table; rule_id } ->
+    ignore (Enclave.remove_table_rule e ~table rule_id);
+    Ok 0L
+  | Set_global { action; name; value } -> (
+    match Enclave.set_global e ~action name value with Ok () -> Ok 0L | Error m -> Error m)
+  | Set_global_array { action; name; value } -> (
+    match Enclave.set_global_array e ~action name (Array.copy value) with
+    | Ok () -> Ok 0L
+    | Error m -> Error m)
+  | Commit_generation -> Ok 0L
+
+let deliver t ~op_id ~gen op =
+  match Hashtbl.find_opt t.ch_applied op_id with
+  | Some outcome -> outcome
+  | None ->
+    let outcome = apply t op in
+    if Hashtbl.length t.ch_applied >= memo_cap then Hashtbl.reset t.ch_applied;
+    Hashtbl.replace t.ch_applied op_id outcome;
+    (match outcome with
+    | Ok _ -> if gen > t.ch_acked_generation then t.ch_acked_generation <- gen
+    | Error _ -> ());
+    outcome
+
+let restart t =
+  Enclave.restart t.ch_enclave;
+  Hashtbl.reset t.ch_applied;
+  t.ch_acked_generation <- 0;
+  t.ch_delayed <- [];
+  t.ch_restarts_injected <- t.ch_restarts_injected + 1
+
+let inject_restart = restart
+
+(* Deliver delayed ops that have run out of holding time.  Called at the
+   start of every protocol interaction, so a [Delay n] op lands before
+   the [n]th later send/pull. *)
+let flush_due t =
+  List.iter (fun d -> d.dl_left <- d.dl_left - 1) t.ch_delayed;
+  let due, still = List.partition (fun d -> d.dl_left <= 0) t.ch_delayed in
+  t.ch_delayed <- still;
+  List.iter (fun d -> ignore (deliver t ~op_id:d.dl_op_id ~gen:d.dl_gen d.dl_op)) due
+
+let flush_delayed t =
+  let due = t.ch_delayed in
+  t.ch_delayed <- [];
+  List.iter (fun d -> ignore (deliver t ~op_id:d.dl_op_id ~gen:d.dl_gen d.dl_op)) due
+
+let random_fault t =
+  match Rng.int t.ch_rng 4 with
+  | 0 -> Drop
+  | 1 -> Ack_lost
+  | 2 -> Duplicate
+  | _ -> Delay (1 + Rng.int t.ch_rng 3)
+
+let next_fault t =
+  let idx = t.ch_seq in
+  t.ch_seq <- idx + 1;
+  match List.assoc_opt idx t.ch_script with
+  | Some f -> Some f
+  | None ->
+    if t.ch_fault_rate > 0.0 && Rng.float t.ch_rng 1.0 < t.ch_fault_rate then
+      Some (random_fault t)
+    else None
+
+let send t ~op_id ~gen op =
+  t.ch_ops_sent <- t.ch_ops_sent + 1;
+  if t.ch_partitioned then Error Partitioned
+  else begin
+    flush_due t;
+    let fault = next_fault t in
+    (match fault with Some _ -> t.ch_faults_injected <- t.ch_faults_injected + 1 | None -> ());
+    match fault with
+    | None -> (
+      match deliver t ~op_id ~gen op with Ok _ as ok -> ok | Error m -> Error (Rejected m))
+    | Some Drop -> Error Lost
+    | Some Ack_lost ->
+      ignore (deliver t ~op_id ~gen op);
+      Error Timeout
+    | Some Duplicate -> (
+      ignore (deliver t ~op_id ~gen op);
+      match deliver t ~op_id ~gen op with Ok _ as ok -> ok | Error m -> Error (Rejected m))
+    | Some (Delay n) ->
+      t.ch_delayed <-
+        t.ch_delayed @ [ { dl_op_id = op_id; dl_gen = gen; dl_op = op; dl_left = max 1 n } ];
+      Error Timeout
+    | Some Crash_restart ->
+      restart t;
+      Error Crashed
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reads *)
+
+let read t f = if t.ch_partitioned then Error Partitioned else Ok (f t.ch_enclave)
+
+let pull_state t =
+  if t.ch_partitioned then Error Partitioned
+  else begin
+    flush_due t;
+    Ok (Enclave.snapshot t.ch_enclave, t.ch_acked_generation)
+  end

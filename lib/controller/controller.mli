@@ -1,32 +1,94 @@
-(** The logically centralized Eden controller (paper §3.2).
+(** The logically centralized Eden controller (paper §3.2, §3.5).
 
     Holds global visibility (the {!Topology}), computes the slow-timescale
     state that data-plane functions consume (WCMP path matrices, PIAS
     priority thresholds), and programs stages (stage API) and enclaves
-    (enclave API) across the fleet.  Pushes are applied to every
-    registered enclave and stamped with a generation counter, giving the
-    single-enforcement-point consistency story of §2.2. *)
+    (enclave API) across the fleet.
+
+    Every controller→enclave interaction goes over a fallible
+    {!Channel}; transient failures are retried with capped exponential
+    backoff and seeded jitter, and every accepted change is recorded in
+    a persistent {!Desired} store stamped with the generation counter.
+    Enclaves the controller could not reach keep forwarding on their
+    last-known policy (the consistency story of §2.2) and are marked
+    divergent; the anti-entropy {!reconcile} pass diffs their reported
+    configuration against the desired store and replays the delta, so a
+    restarted or partitioned-then-healed enclave converges without a
+    controller restart. *)
 
 type t
 
-val create : ?topology:Topology.t -> unit -> t
+(** Capped exponential backoff: attempt [k] waits
+    [min (base * 2^(k-1), max) * jitter] with jitter uniform in
+    [\[0.5, 1\]] from the controller's seeded stream.  Time is simulated:
+    backoff is accounted in {!retry_stats}, not slept. *)
+type retry_policy = {
+  rp_max_attempts : int;
+  rp_base_backoff : Eden_base.Time.t;
+  rp_max_backoff : Eden_base.Time.t;
+}
+
+val default_retry : retry_policy
+(** 5 attempts, 50 µs base, 5 ms cap. *)
+
+type retry_stats = {
+  mutable rs_ops : int;  (** Logical ops sent (one per enclave per push). *)
+  mutable rs_attempts : int;  (** Channel sends, including retries. *)
+  mutable rs_retries : int;
+  mutable rs_giveups : int;  (** Transient failures that exhausted the budget. *)
+  mutable rs_backoff : Eden_base.Time.t;  (** Total simulated backoff. *)
+}
+
+val create : ?topology:Topology.t -> ?retry:retry_policy -> ?seed:int64 -> unit -> t
 val topology : t -> Topology.t
 
 val register_enclave : t -> Eden_enclave.Enclave.t -> unit
+(** Wraps the enclave in a fresh fault-free channel.  An enclave
+    registered after pushes have happened starts divergent from the
+    desired state; run {!reconcile} to converge it. *)
+
 val register_stage : t -> Eden_stage.Stage.t -> unit
 val enclaves : t -> Eden_enclave.Enclave.t list
+val channels : t -> Channel.t list
+val channel_for : t -> Eden_base.Addr.host -> Channel.t option
 val stages : t -> Eden_stage.Stage.t list
 val find_stage : t -> string -> Eden_stage.Stage.t option
 
 val generation : t -> int
-(** Incremented by every successful push. *)
+(** Incremented once per accepted desired-state change — never by
+    retries or duplicate delivery. *)
 
-(** {2 Enclave programming (broadcast)} *)
+val desired : t -> Desired.t
+val stats : t -> retry_stats
+
+val divergent_hosts : t -> Eden_base.Addr.host list
+(** Enclaves a push or rollback could not fully reach, pending
+    reconciliation. *)
+
+(** {2 Enclave programming (broadcast)}
+
+    A push is accepted or refused at the desired-state level: a permanent
+    rejection by any enclave abandons the change and undoes it
+    failure-tolerantly wherever it landed (a failed undo does not abort
+    the remaining undos; the error names the hosts left divergent).
+    Transient failures do {e not} abandon the change — the desired state
+    commits, the unreachable enclaves are marked divergent, and
+    {!reconcile} converges them later.
+
+    Pushes are two-phase with respect to the generation counter: the op
+    is broadcast at the current generation, and only once the change has
+    committed is a [Commit_generation] sent to the enclaves that applied
+    it.  An aborted change therefore never advances any watermark —
+    acked generation <= desired generation is an invariant. *)
 
 val install_action_everywhere :
   t -> Eden_enclave.Enclave.install_spec -> (unit, string) result
-(** All-or-nothing across registered enclaves: on any failure, installs
-    made so far are rolled back. *)
+
+val remove_action_everywhere : t -> string -> (unit, string) result
+(** Idempotent at the enclave, so never rejected: commits the desired
+    change and pushes best-effort. *)
+
+val add_table_everywhere : t -> (int, string) result
 
 val add_rule_everywhere :
   t ->
@@ -41,6 +103,45 @@ val set_global_everywhere : t -> action:string -> string -> int64 -> (unit, stri
 val set_global_array_everywhere :
   t -> action:string -> string -> int64 array -> (unit, string) result
 (** Each enclave receives its own copy of the array. *)
+
+(** {2 Reconciliation} *)
+
+(** Desired-vs-actual difference for one enclave. *)
+type drift = {
+  df_missing_actions : string list;
+  df_extra_actions : string list;
+  df_missing_rules : Desired.rule list;
+  df_extra_rules : (int * int) list;  (** (table, enclave rule id) *)
+  df_stale_globals : (string * string) list;  (** (action, name) *)
+  df_stale_arrays : (string * string) list;
+  df_desired_generation : int;
+  df_acked_generation : int;
+}
+
+val drift_in_sync : drift -> bool
+val pp_drift : Format.formatter -> drift -> unit
+
+type reconcile_outcome =
+  | In_sync
+  | Repaired of int  (** Ops replayed to converge. *)
+  | Unreachable of string  (** Still partitioned; try again later. *)
+  | Repair_failed of string
+
+val reconcile_outcome_to_string : reconcile_outcome -> string
+
+val reconcile_enclave : t -> Channel.t -> reconcile_outcome
+(** One anti-entropy round: pull the enclave's configuration and acked
+    generation, diff against the desired store, replay the delta (extra
+    rules and actions removed first, then missing actions in install
+    order, then state, then rules), commit the generation, and verify by
+    re-pulling.  Convergence is judged by the configuration diff — the
+    generation watermark alone proves nothing after a restart wiped it. *)
+
+val reconcile : t -> (Eden_base.Addr.host * reconcile_outcome) list
+
+val converged : t -> bool
+(** Every reachable-and-registered enclave's configuration matches the
+    desired store (false if any enclave is unreachable). *)
 
 (** {2 Stage programming} *)
 
@@ -66,11 +167,16 @@ type enclave_report = {
   er_actions : string list;
   er_overhead_pct : float;
       (** Eden components as % of vanilla per-packet cost (Fig. 12's metric). *)
+  er_generation : int;  (** The enclave's acked generation watermark. *)
+  er_restarts : int;
+  er_quarantined : int;  (** Packets that fell through a tripped breaker. *)
 }
 
 val collect_reports : t -> enclave_report list
-(** Poll every registered enclave's counters — the monitoring half of the
-    controller loop (switch-style SNMP polling, §3.5, applied to hosts). *)
+(** Poll every {e reachable} enclave's counters over its channel — the
+    monitoring half of the controller loop (switch-style SNMP polling,
+    §3.5, applied to hosts).  Partitioned enclaves are absent from the
+    result. *)
 
 val pp_reports : Format.formatter -> enclave_report list -> unit
 

@@ -1,4 +1,3 @@
-module Enclave = Eden_enclave.Enclave
 module Stage = Eden_stage.Stage
 module Classifier = Eden_stage.Classifier
 open Eden_functions
@@ -10,29 +9,48 @@ let variant = function
   | Compiled -> `Compiled
   | Native -> `Native
 
-(* Apply a per-enclave install to the whole fleet; on any failure remove
-   the action from the enclaves already programmed. *)
-let fleet_install ctl ~name install =
-  let rec go done_ = function
-    | [] -> Ok ()
-    | e :: rest -> (
-      match install e with
-      | Ok () -> go (e :: done_) rest
-      | Error msg ->
-        List.iter (fun e -> ignore (Enclave.remove_action e name)) done_;
-        Error msg)
+let ( let* ) = Result.bind
+
+(* Deploy one function through the controller's desired-state broadcasts
+   (install, bind state, add the matching rule).  If a later step fails
+   the action is withdrawn from the desired state so a failed deployment
+   does not leave a half-policy behind; enclaves the withdrawal could not
+   reach are converged by reconciliation. *)
+let deploy ctl ~spec ~pattern ~arrays =
+  let name = spec.Eden_enclave.Enclave.i_name in
+  let* () = Controller.install_action_everywhere ctl spec in
+  let cleanup_on e =
+    match e with
+    | Ok _ as ok -> ok
+    | Error _ as err ->
+      ignore (Controller.remove_action_everywhere ctl name);
+      err
   in
-  go [] (Controller.enclaves ctl)
+  let* () =
+    cleanup_on
+      (List.fold_left
+         (fun acc (key, value) ->
+           let* () = acc in
+           Controller.set_global_array_everywhere ctl ~action:name key value)
+         (Ok ()) arrays)
+  in
+  cleanup_on (Controller.add_rule_everywhere ctl ~pattern ~action:name ())
 
 let flow_scheduling ctl ~scheme ?(engine = Interpreted) ?(levels = 3) ~cdf () =
   let thresholds = Controller.pias_thresholds ~cdf ~levels in
-  match scheme with
-  | `Pias ->
-    fleet_install ctl ~name:"pias" (fun e ->
-        Pias.install ~variant:(variant engine) e ~thresholds)
-  | `Sff ->
-    fleet_install ctl ~name:"sff" (fun e ->
-        Sff.install ~variant:(variant engine) e ~thresholds)
+  if Array.length thresholds > 7 then Error "flow_scheduling: at most 7 thresholds"
+  else
+    match scheme with
+    | `Pias ->
+      deploy ctl
+        ~spec:(Pias.spec ~variant:(variant engine) ())
+        ~pattern:Pias.rule_pattern
+        ~arrays:[ ("Thresholds", thresholds) ]
+    | `Sff ->
+      deploy ctl
+        ~spec:(Sff.spec ~variant:(variant engine) ())
+        ~pattern:Sff.rule_pattern
+        ~arrays:[ ("Thresholds", thresholds) ]
 
 let update_flow_scheduling_thresholds ctl ~scheme ?(levels = 3) ~cdf () =
   let thresholds = Controller.pias_thresholds ~cdf ~levels in
@@ -53,7 +71,8 @@ let weighted_load_balancing ctl ?(engine = Interpreted) ?(message_level = false)
       | Compiled, false -> `Compiled
       | Compiled, true -> `Compiled_message
     in
-    fleet_install ctl ~name:"wcmp" (fun e -> Wcmp.install ~variant:v e ~matrix)
+    deploy ctl ~spec:(Wcmp.spec ~variant:v ()) ~pattern:Wcmp.rule_pattern
+      ~arrays:[ ("Paths", matrix) ]
   end
 
 let tenant_qos ctl ?(engine = Interpreted) ~queue_map () =
@@ -73,9 +92,10 @@ let tenant_qos ctl ?(engine = Interpreted) ~queue_map () =
       end
       else program_storage_stages rest
   in
-  match
-    fleet_install ctl ~name:"pulsar" (fun e ->
-        Pulsar.install ~variant:(variant engine) e ~queue_map)
-  with
-  | Error _ as e -> e
-  | Ok () -> program_storage_stages (Controller.stages ctl)
+  let* () =
+    deploy ctl
+      ~spec:(Pulsar.spec ~variant:(variant engine) ())
+      ~pattern:Pulsar.rule_pattern
+      ~arrays:[ ("QueueMap", Array.map Int64.of_int queue_map) ]
+  in
+  program_storage_stages (Controller.stages ctl)

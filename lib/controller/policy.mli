@@ -5,8 +5,11 @@
     controller workflow in one call: compute the global state (thresholds,
     path matrices, queue maps), install the data-plane function on every
     registered enclave, and program stages where the function needs
-    application classification.  Installs are fleet-atomic: a failure on
-    any enclave rolls back the ones already programmed. *)
+    application classification.  Deployment goes through the
+    controller's desired-state broadcasts: a {e rejected} install is
+    withdrawn everywhere it landed (no half-policy survives), while
+    enclaves that were merely unreachable converge later via
+    [Controller.reconcile]. *)
 
 type engine = Interpreted | Compiled | Native
 

@@ -89,6 +89,7 @@ type counters = {
   mutable compiled_invocations : int;
   mutable faults : int;
   mutable interp_steps : int;
+  mutable quarantined : int;
 }
 
 type fault_record = {
@@ -96,6 +97,85 @@ type fault_record = {
   fr_fault : Interp.fault;
   fr_time : Time.t;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Per-action circuit breaker.
+
+   Fail-open covers a single faulting invocation; a breaker covers a
+   faulting *action*: when the fault rate over a sliding window of
+   invocations crosses the threshold the action is quarantined — matching
+   packets fall through to default forwarding without invoking it — and
+   after a cooldown one probe invocation decides between recovery and
+   another quarantine period.  Disabled unless {!set_breaker} is called,
+   so the default data path is exactly the paper's. *)
+
+type breaker_config = {
+  br_window : int;
+  br_min_samples : int;
+  br_threshold : float;
+  br_cooldown : Time.t;
+}
+
+let default_breaker =
+  { br_window = 32; br_min_samples = 8; br_threshold = 0.5; br_cooldown = Time.us 100 }
+
+type brk_state = Brk_closed | Brk_open of Time.t  (* half-open probe time *) | Brk_half_open
+
+(* Outcome window as a bit queue in an int: newest at the LSB, oldest at
+   bit [window - 1]; O(1) per invocation, no allocation. *)
+type brk = {
+  mutable k_state : brk_state;
+  mutable k_hist : int;
+  mutable k_count : int;
+  mutable k_faults : int;
+  mutable k_trips : int;
+}
+
+let make_brk () = { k_state = Brk_closed; k_hist = 0; k_count = 0; k_faults = 0; k_trips = 0 }
+
+let brk_reset_window k =
+  k.k_hist <- 0;
+  k.k_count <- 0;
+  k.k_faults <- 0
+
+(* May the action run right now?  Flips Open -> Half_open when the
+   cooldown has elapsed, admitting exactly the probe invocation. *)
+let brk_admit k ~now =
+  match k.k_state with
+  | Brk_closed | Brk_half_open -> true
+  | Brk_open probe_at ->
+    if Time.( >= ) now probe_at then begin
+      k.k_state <- Brk_half_open;
+      true
+    end
+    else false
+
+let brk_record k cfg ~now ~faulted =
+  match k.k_state with
+  | Brk_half_open ->
+    if faulted then begin
+      k.k_state <- Brk_open (Time.add now cfg.br_cooldown);
+      k.k_trips <- k.k_trips + 1
+    end
+    else k.k_state <- Brk_closed
+  | Brk_open _ -> ()
+  | Brk_closed ->
+    if k.k_count = cfg.br_window then begin
+      let oldest = (k.k_hist lsr (cfg.br_window - 1)) land 1 in
+      k.k_faults <- k.k_faults - oldest;
+      k.k_count <- k.k_count - 1
+    end;
+    k.k_hist <- ((k.k_hist lsl 1) lor (if faulted then 1 else 0)) land ((1 lsl cfg.br_window) - 1);
+    k.k_count <- k.k_count + 1;
+    if faulted then k.k_faults <- k.k_faults + 1;
+    if
+      k.k_count >= cfg.br_min_samples
+      && float_of_int k.k_faults >= cfg.br_threshold *. float_of_int k.k_count
+    then begin
+      k.k_state <- Brk_open (Time.add now cfg.br_cooldown);
+      k.k_trips <- k.k_trips + 1;
+      brk_reset_window k
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Packet-field marshalling.
@@ -337,10 +417,12 @@ type engine =
 
 type installed = {
   a_name : string;
+  a_spec : install_spec;  (* retained for snapshot/restore and reconciliation *)
   a_state : State.t;
   a_msg_sources : (string, msg_field_source) Hashtbl.t;
   a_concurrency : [ `Parallel | `Per_message | `Serial ];
   a_engine : engine;
+  a_brk : brk;
 }
 
 (* A table's resolved lookup for one class vector.  [C_none] caches "no
@@ -358,6 +440,7 @@ type t = {
   e_flow_ids : int64 Addr.Flow_table.t;
   mutable e_next_flow_id : int64;
   e_actions : (string, installed) Hashtbl.t;
+  mutable e_install_order : string list;  (* oldest first *)
   e_tables : (int, Table.t) Hashtbl.t;
   mutable e_next_table : int;
   mutable e_caches : (Class_name.t list, cached) Hashtbl.t array;
@@ -367,11 +450,13 @@ type t = {
   mutable e_fault_next : int;
   mutable e_fault_count : int;
   e_out : outputs;  (* reused across process_one calls *)
-  e_cost : Cost.Accum.t;
+  mutable e_cost : Cost.Accum.t;
   e_cost_model : Cost.model;
   mutable e_budget_ns : float;
   mutable e_enforce : bool;
   mutable e_last_cost_ns : float;
+  mutable e_breaker : breaker_config option;
+  mutable e_restarts : int;
 }
 
 (* The enclave's first flow id; far above any stage-assigned message id so
@@ -388,6 +473,7 @@ let create ?(placement = Os) ?(seed = 0xEDE1L) ~host () =
       e_flow_ids = Addr.Flow_table.create 64;
       e_next_flow_id = flow_id_base;
       e_actions = Hashtbl.create 8;
+      e_install_order = [];
       e_tables = Hashtbl.create 4;
       e_next_table = 1;
       e_caches = [| Hashtbl.create 64 |];
@@ -400,6 +486,7 @@ let create ?(placement = Os) ?(seed = 0xEDE1L) ~host () =
           compiled_invocations = 0;
           faults = 0;
           interp_steps = 0;
+          quarantined = 0;
         };
       e_faults = Array.make fault_ring_capacity None;
       e_fault_next = 0;
@@ -419,6 +506,8 @@ let create ?(placement = Os) ?(seed = 0xEDE1L) ~host () =
         (match placement with Os -> Cost.os_model | Nic -> Cost.nic_model).Cost.budget_ns;
       e_enforce = true;
       e_last_cost_ns = 0.0;
+      e_breaker = None;
+      e_restarts = 0;
     }
   in
   Hashtbl.replace t.e_tables 0 (Table.create ~id:0);
@@ -569,11 +658,14 @@ let install_action_full t spec =
       Hashtbl.replace t.e_actions spec.i_name
         {
           a_name = spec.i_name;
+          a_spec = spec;
           a_state = State.create ();
           a_msg_sources = sources;
           a_concurrency = concurrency;
           a_engine = engine;
+          a_brk = make_brk ();
         };
+      t.e_install_order <- t.e_install_order @ [ spec.i_name ];
       invalidate_caches t;
       Ok ()
   end
@@ -585,6 +677,7 @@ let remove_action t name =
   if not (Hashtbl.mem t.e_actions name) then None
   else begin
     Hashtbl.remove t.e_actions name;
+    t.e_install_order <- List.filter (fun n -> not (String.equal n name)) t.e_install_order;
     let dropped =
       Hashtbl.fold (fun _ tbl acc -> acc + Table.remove_action_rules tbl name) t.e_tables 0
     in
@@ -650,6 +743,171 @@ let get_global_array t ~action name =
   match Hashtbl.find_opt t.e_actions action with
   | None -> None
   | Some a -> Some (State.global_array a.a_state name)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation: breaker configuration *)
+
+let set_breaker t cfg =
+  (match cfg with
+  | None -> ()
+  | Some c ->
+    if c.br_window < 1 || c.br_window > 62 then
+      invalid_arg "Enclave.set_breaker: window must be in [1, 62]";
+    if c.br_min_samples < 1 || c.br_min_samples > c.br_window then
+      invalid_arg "Enclave.set_breaker: min_samples must be in [1, window]";
+    if c.br_threshold <= 0.0 || c.br_threshold > 1.0 then
+      invalid_arg "Enclave.set_breaker: threshold must be in (0, 1]");
+  t.e_breaker <- cfg;
+  Hashtbl.iter
+    (fun _ a ->
+      a.a_brk.k_state <- Brk_closed;
+      brk_reset_window a.a_brk)
+    t.e_actions
+
+let breaker t = t.e_breaker
+
+let breaker_state t name =
+  match (t.e_breaker, Hashtbl.find_opt t.e_actions name) with
+  | None, _ | _, None -> None
+  | Some _, Some a ->
+    Some
+      (match a.a_brk.k_state with
+      | Brk_closed -> `Closed
+      | Brk_open _ -> `Open
+      | Brk_half_open -> `Half_open)
+
+let breaker_trips t name =
+  match Hashtbl.find_opt t.e_actions name with None -> 0 | Some a -> a.a_brk.k_trips
+
+(* ------------------------------------------------------------------ *)
+(* Restart and snapshot/restore.
+
+   Everything the controller pushed — actions, rules, state — plus
+   everything the data path accumulated is *soft* state: a host reboot
+   loses it all, and the consistency story of §2.2 only holds if the
+   controller can re-converge such an enclave.  [restart] models the
+   reboot honestly (wipe, not simulate); [snapshot]/[restore] capture and
+   replay the programmed configuration so tests and the reconciliation
+   plane can compare desired against actual.  The five-tuple flow stage's
+   built-in ALL rule is firmware, not pushed state; it survives restart
+   by reconstruction in [create] and here. *)
+
+type snapshot = {
+  sn_actions : install_spec list;  (* install order *)
+  sn_globals : (string * (string * int64) list) list;
+  sn_arrays : (string * (string * int64 array) list) list;
+  sn_rules : (int * Table.rule list) list;  (* per table, match order *)
+}
+
+let snapshot t =
+  let acts =
+    List.filter_map (fun n -> Hashtbl.find_opt t.e_actions n) t.e_install_order
+  in
+  {
+    sn_actions = List.map (fun a -> a.a_spec) acts;
+    sn_globals = List.map (fun a -> (a.a_name, State.global_bindings a.a_state)) acts;
+    sn_arrays =
+      List.map
+        (fun a ->
+          ( a.a_name,
+            List.map
+              (fun (n, arr) -> (n, Array.copy arr))
+              (State.global_array_bindings a.a_state) ))
+        acts;
+    sn_rules = List.map (fun tbl -> (Table.id tbl, Table.rules tbl)) (tables t);
+  }
+
+let restarts t = t.e_restarts
+
+let restart t =
+  t.e_restarts <- t.e_restarts + 1;
+  Hashtbl.reset t.e_actions;
+  t.e_install_order <- [];
+  Hashtbl.reset t.e_tables;
+  Hashtbl.replace t.e_tables 0 (Table.create ~id:0);
+  t.e_next_table <- 1;
+  t.e_caches <- [| Hashtbl.create 64 |];
+  Addr.Flow_table.reset t.e_flow_ids;
+  t.e_next_flow_id <- flow_id_base;
+  let c = t.e_counters in
+  c.packets <- 0;
+  c.dropped <- 0;
+  c.invocations <- 0;
+  c.native_invocations <- 0;
+  c.compiled_invocations <- 0;
+  c.faults <- 0;
+  c.interp_steps <- 0;
+  c.quarantined <- 0;
+  Array.fill t.e_faults 0 fault_ring_capacity None;
+  t.e_fault_next <- 0;
+  t.e_fault_count <- 0;
+  t.e_cost <- Cost.Accum.create ();
+  t.e_last_cost_ns <- 0.0
+
+let restore t sn =
+  restart t;
+  let ( let* ) r f = Result.bind r f in
+  let rec each f = function
+    | [] -> Ok ()
+    | x :: rest ->
+      let* () = f x in
+      each f rest
+  in
+  let* () = each (fun spec -> install_action t spec) sn.sn_actions in
+  let* () =
+    each
+      (fun (action, bindings) ->
+        each (fun (name, v) -> set_global t ~action name v) bindings)
+      sn.sn_globals
+  in
+  let* () =
+    each
+      (fun (action, bindings) ->
+        each (fun (name, arr) -> set_global_array t ~action name (Array.copy arr)) bindings)
+      sn.sn_arrays
+  in
+  let max_table = List.fold_left (fun acc (id, _) -> max acc id) 0 sn.sn_rules in
+  while t.e_next_table <= max_table do
+    ignore (add_table t)
+  done;
+  each
+    (fun (table, rules) ->
+      each
+        (fun (r : Table.rule) ->
+          let* _ =
+            add_table_rule t ~table ~pattern:r.Table.pattern ~action:r.Table.action ()
+          in
+          Ok ())
+        rules)
+    sn.sn_rules
+
+(* Configuration equality ignores what cannot be compared (native
+   closures) and what is not configuration (rule ids): two enclaves are
+   configured equally when they hold the same actions (by name, engine
+   kind and message sources), the same state bindings and the same
+   (pattern, action) rule sequences per table. *)
+let config_equal a b =
+  let impl_kind = function
+    | Interpreted p -> "interpreted:" ^ p.P.name
+    | Compiled p -> "compiled:" ^ p.P.name
+    | Native _ -> "native"
+  in
+  let spec_key (s : install_spec) =
+    (s.i_name, impl_kind s.i_impl, List.sort compare s.i_msg_sources)
+  in
+  let rule_key (r : Table.rule) = (Class_name.Pattern.to_string r.Table.pattern, r.Table.action) in
+  List.map spec_key a.sn_actions = List.map spec_key b.sn_actions
+  && a.sn_globals = b.sn_globals
+  && a.sn_arrays = b.sn_arrays
+  && List.map (fun (id, rs) -> (id, List.map rule_key rs)) a.sn_rules
+     = List.map (fun (id, rs) -> (id, List.map rule_key rs)) b.sn_rules
+
+let snapshot_summary sn =
+  Printf.sprintf "%d actions, %d rules, %d globals, %d arrays"
+    (List.length sn.sn_actions)
+    (List.fold_left (fun acc (_, rs) -> acc + List.length rs) 0 sn.sn_rules)
+    (List.fold_left (fun acc (_, bs) -> acc + List.length bs) 0 sn.sn_globals)
+    (List.fold_left (fun acc (_, bs) -> acc + List.length bs) 0 sn.sn_arrays)
 
 (* ------------------------------------------------------------------ *)
 (* Data path *)
@@ -768,6 +1026,12 @@ let run_native t a f pkt md msg_id out ~now =
 
 let max_table_hops = 8
 
+let invoke_engine t a pkt md msg_id out ~now =
+  match a.a_engine with
+  | E_interp (p, scratch, plan) -> run_interpreted t a p scratch plan pkt md msg_id out ~now
+  | E_compiled (c, plan) -> run_compiled t a c plan pkt md msg_id out ~now
+  | E_native f -> run_native t a f pkt md msg_id out ~now
+
 (* Table walk with the per-flow match-action cache: the resolution of a
    class vector at a table — which rule fires and which installed action
    it names — is invariant until the controller changes the rule or
@@ -797,15 +1061,29 @@ let rec walk t ~now pkt md msg_id classes out table_id hops =
     in
     match entry with
     | C_none -> ()
-    | C_run (_rule, a) ->
-      t.e_counters.invocations <- t.e_counters.invocations + 1;
-      out.o_goto <- -1;
-      (match a.a_engine with
-      | E_interp (p, scratch, plan) -> run_interpreted t a p scratch plan pkt md msg_id out ~now
-      | E_compiled (c, plan) -> run_compiled t a c plan pkt md msg_id out ~now
-      | E_native f -> run_native t a f pkt md msg_id out ~now);
-      if out.o_goto >= 0 && out.o_goto <> table_id then
-        walk t ~now pkt md msg_id classes out out.o_goto (hops + 1)
+    | C_run (_rule, a) -> (
+      match t.e_breaker with
+      | None ->
+        t.e_counters.invocations <- t.e_counters.invocations + 1;
+        out.o_goto <- -1;
+        invoke_engine t a pkt md msg_id out ~now;
+        if out.o_goto >= 0 && out.o_goto <> table_id then
+          walk t ~now pkt md msg_id classes out out.o_goto (hops + 1)
+      | Some cfg ->
+        (* Quarantined action: matching packets fall through to default
+           forwarding — [out] keeps its reset values, exactly as if no
+           rule had matched (fail-open, but for the whole action). *)
+        if not (brk_admit a.a_brk ~now) then
+          t.e_counters.quarantined <- t.e_counters.quarantined + 1
+        else begin
+          t.e_counters.invocations <- t.e_counters.invocations + 1;
+          out.o_goto <- -1;
+          let faults_before = t.e_counters.faults in
+          invoke_engine t a pkt md msg_id out ~now;
+          brk_record a.a_brk cfg ~now ~faulted:(t.e_counters.faults > faults_before);
+          if out.o_goto >= 0 && out.o_goto <> table_id then
+            walk t ~now pkt md msg_id classes out out.o_goto (hops + 1)
+        end)
   end
 
 (* [charge_classify] is false for the non-leading packets of a batch

@@ -82,6 +82,9 @@ type counters = {
   mutable compiled_invocations : int;
   mutable faults : int;
   mutable interp_steps : int;  (** Steps retired by either bytecode engine. *)
+  mutable quarantined : int;
+      (** Packets that matched a rule whose action was quarantined by the
+          circuit breaker and fell through to default forwarding. *)
 }
 
 type fault_record = {
@@ -175,6 +178,74 @@ val set_global_array : t -> action:string -> string -> int64 array -> (unit, str
 val get_global_array : t -> action:string -> string -> int64 array option
 
 val counters : t -> counters
+
+(** {2 Graceful degradation (circuit breaker)} *)
+
+(** Per-action breaker over the fault ring: a single faulting invocation
+    fails open (§3.4.3); a {e persistently} faulting action is
+    quarantined so matching packets stop paying for it and fall through
+    to default forwarding, with a half-open probe after a cooldown to
+    detect recovery (e.g. the controller fixed the state that made it
+    fault). *)
+type breaker_config = {
+  br_window : int;  (** Sliding window of invocation outcomes, 1–62. *)
+  br_min_samples : int;  (** Don't judge before this many outcomes. *)
+  br_threshold : float;  (** Fault fraction in (0, 1] that trips it. *)
+  br_cooldown : Eden_base.Time.t;  (** Quarantine length before the probe. *)
+}
+
+val default_breaker : breaker_config
+
+val set_breaker : t -> breaker_config option -> unit
+(** Enable (or disable with [None], the initial state) the breaker for
+    every installed and future action; resets all breaker windows.  With
+    the breaker off the data path is byte-for-byte the pre-existing one.
+    @raise Invalid_argument on an out-of-range configuration. *)
+
+val breaker : t -> breaker_config option
+
+val breaker_state : t -> string -> [ `Closed | `Open | `Half_open ] option
+(** [None] when no such action is installed or no breaker is
+    configured. *)
+
+val breaker_trips : t -> string -> int
+(** How many times the named action's breaker has opened. *)
+
+(** {2 Soft state: restart, snapshot, restore} *)
+
+val restart : t -> unit
+(** Model a host/enclave reboot honestly: drop every installed action,
+    every table (recreating the empty table 0), all action state, flow
+    ids, caches, counters and the fault ring.  The enclave keeps its
+    identity (host, placement, seed, budget) and counts restarts; the
+    controller must re-converge it via reconciliation. *)
+
+val restarts : t -> int
+
+(** Programmed configuration, captured for restart injection and for the
+    reconciliation plane's desired-vs-actual diff. *)
+type snapshot = {
+  sn_actions : install_spec list;  (** Install order. *)
+  sn_globals : (string * (string * int64) list) list;
+      (** Per action: written global scalars, sorted by name. *)
+  sn_arrays : (string * (string * int64 array) list) list;
+      (** Per action: bound global arrays (copied), sorted by name. *)
+  sn_rules : (int * Table.rule list) list;  (** Per table id, match order. *)
+}
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> (unit, string) result
+(** [restart] then replay the snapshot (actions, state, tables, rules).
+    Counts as a restart. *)
+
+val config_equal : snapshot -> snapshot -> bool
+(** Configuration equivalence: same actions (name, engine kind, message
+    sources) in the same install order, same state bindings, same
+    (pattern, action) rule sequence per table.  Rule ids are ignored —
+    they are allocation artifacts, not configuration. *)
+
+val snapshot_summary : snapshot -> string
 
 val faults : t -> fault_record list
 (** Most recent first; bounded (a fixed-size ring keeps recording O(1)

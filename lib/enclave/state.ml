@@ -36,6 +36,14 @@ let global_array_set t name a =
 
 let array_version t = t.array_version
 
+let global_bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.global_scalars []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let global_array_bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.global_arrays []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let msg_entry t msg now =
   match Hashtbl.find t.messages msg with
   | e ->

@@ -27,6 +27,13 @@ val global_array : t -> string -> int64 array
 
 val global_array_set : t -> string -> int64 array -> unit
 
+val global_bindings : t -> (string * int64) list
+(** Every written global scalar, sorted by name — the reconciliation
+    plane's view of the store. *)
+
+val global_array_bindings : t -> (string * int64 array) list
+(** Every bound global array (live, not copied), sorted by name. *)
+
 val array_version : t -> int
 (** Incremented by every {!global_array_set}.  The enclave's marshal
     plans cache aliases into the live arrays; a version mismatch tells

@@ -17,6 +17,16 @@ val priority_for : thresholds:int64 array -> size:int64 -> int
 (** Reference model: the priority the action computes for a message of
     accumulated [size] (7 = highest). *)
 
+val spec :
+  ?name:string ->
+  ?variant:[ `Interpreted | `Compiled | `Native ] ->
+  unit ->
+  Eden_enclave.Enclave.install_spec
+(** The install spec alone, for controller-mediated (desired-state)
+    deployment; pair with {!rule_pattern} and a [Thresholds] binding. *)
+
+val rule_pattern : Eden_base.Class_name.Pattern.t
+
 val install :
   ?name:string ->
   ?variant:[ `Interpreted | `Compiled | `Native ] ->

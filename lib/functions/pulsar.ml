@@ -66,31 +66,33 @@ let storage_pattern =
   | Some p -> p
   | None -> assert false
 
-let install ?(name = "pulsar") ?(variant = `Interpreted) enclave ~queue_map =
+let spec ?(name = "pulsar") ?(variant = `Interpreted) () =
   let impl =
     match variant with
     | `Interpreted -> Enclave.Interpreted (program ())
     | `Compiled -> Enclave.Compiled (program ())
     | `Native -> Enclave.Native native
   in
-  let* () =
-    Enclave.install_action enclave
-      {
-        Enclave.i_name = name;
-        i_impl = impl;
-        i_msg_sources =
-          [
-            ("IsRead", Enclave.Metadata_flag (Metadata.Field.operation, "READ"));
-            ("OpSize", Enclave.Metadata_int Metadata.Field.msg_size);
-            ("Tenant", Enclave.Metadata_int Metadata.Field.tenant);
-          ];
-      }
-  in
+  {
+    Enclave.i_name = name;
+    i_impl = impl;
+    i_msg_sources =
+      [
+        ("IsRead", Enclave.Metadata_flag (Metadata.Field.operation, "READ"));
+        ("OpSize", Enclave.Metadata_int Metadata.Field.msg_size);
+        ("Tenant", Enclave.Metadata_int Metadata.Field.tenant);
+      ];
+  }
+
+let rule_pattern = storage_pattern
+
+let install ?(name = "pulsar") ?(variant = `Interpreted) enclave ~queue_map =
+  let* () = Enclave.install_action enclave (spec ~name ~variant ()) in
   let* () =
     Enclave.set_global_array enclave ~action:name "QueueMap"
       (Array.map Int64.of_int queue_map)
   in
-  let* _ = Enclave.add_table_rule enclave ~pattern:storage_pattern ~action:name () in
+  let* _ = Enclave.add_table_rule enclave ~pattern:rule_pattern ~action:name () in
   Ok ()
 
 let set_queue_map enclave ?(name = "pulsar") queue_map =

@@ -13,6 +13,16 @@ val action : Eden_lang.Ast.t
 val program : unit -> Eden_bytecode.Program.t
 val native : Eden_enclave.Enclave.Native_ctx.t -> unit
 
+val spec :
+  ?name:string ->
+  ?variant:[ `Interpreted | `Compiled | `Native ] ->
+  unit ->
+  Eden_enclave.Enclave.install_spec
+(** The install spec alone, for controller-mediated deployment. *)
+
+val rule_pattern : Eden_base.Class_name.Pattern.t
+(** [storage.*.*] — only storage-stage traffic is rate-controlled. *)
+
 val install :
   ?name:string ->
   ?variant:[ `Interpreted | `Compiled | `Native ] ->

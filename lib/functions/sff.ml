@@ -46,25 +46,27 @@ let metadata_for ~size =
 
 let ( let* ) r f = Result.bind r f
 
+let spec ?(name = "sff") ?(variant = `Interpreted) () =
+  let impl =
+    match variant with
+    | `Interpreted -> Enclave.Interpreted (program ())
+    | `Compiled -> Enclave.Compiled (program ())
+    | `Native -> Enclave.Native native
+  in
+  {
+    Enclave.i_name = name;
+    i_impl = impl;
+    i_msg_sources = [ ("FlowSize", Enclave.Metadata_int Metadata.Field.flow_size) ];
+  }
+
+let rule_pattern = Pattern.any
+
 let install ?(name = "sff") ?(variant = `Interpreted) enclave ~thresholds =
   if Array.length thresholds > 7 then Error "sff: at most 7 thresholds"
   else begin
-    let impl =
-      match variant with
-      | `Interpreted -> Enclave.Interpreted (program ())
-      | `Compiled -> Enclave.Compiled (program ())
-      | `Native -> Enclave.Native native
-    in
-    let* () =
-      Enclave.install_action enclave
-        {
-          Enclave.i_name = name;
-          i_impl = impl;
-          i_msg_sources = [ ("FlowSize", Enclave.Metadata_int Metadata.Field.flow_size) ];
-        }
-    in
+    let* () = Enclave.install_action enclave (spec ~name ~variant ()) in
     let* () = Enclave.set_global_array enclave ~action:name "Thresholds" thresholds in
-    let* _ = Enclave.add_table_rule enclave ~pattern:Pattern.any ~action:name () in
+    let* _ = Enclave.add_table_rule enclave ~pattern:rule_pattern ~action:name () in
     Ok ()
   end
 

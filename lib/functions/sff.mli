@@ -16,6 +16,15 @@ val metadata_for : size:int -> Eden_base.Metadata.t
 (** Flow metadata announcing [flow_size] (what an SFF-aware stage
     attaches to each flow's message). *)
 
+val spec :
+  ?name:string ->
+  ?variant:[ `Interpreted | `Compiled | `Native ] ->
+  unit ->
+  Eden_enclave.Enclave.install_spec
+(** The install spec alone, for controller-mediated deployment. *)
+
+val rule_pattern : Eden_base.Class_name.Pattern.t
+
 val install :
   ?name:string ->
   ?variant:[ `Interpreted | `Compiled | `Native ] ->

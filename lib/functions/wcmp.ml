@@ -86,7 +86,7 @@ let ecmp_matrix ~labels =
 
 let ( let* ) r f = Result.bind r f
 
-let install ?(name = "wcmp") ?(variant = `Packet) enclave ~matrix =
+let spec ?(name = "wcmp") ?(variant = `Packet) () =
   let impl =
     match variant with
     | `Packet -> Enclave.Interpreted (program ())
@@ -95,16 +95,18 @@ let install ?(name = "wcmp") ?(variant = `Packet) enclave ~matrix =
     | `Compiled_message -> Enclave.Compiled (message_program ())
     | `Native -> Enclave.Native native
   in
-  let* () =
-    Enclave.install_action enclave
-      {
-        Enclave.i_name = name;
-        i_impl = impl;
-        i_msg_sources = [ ("CachedPath", Enclave.Stateful (-1L)) ];
-      }
-  in
+  {
+    Enclave.i_name = name;
+    i_impl = impl;
+    i_msg_sources = [ ("CachedPath", Enclave.Stateful (-1L)) ];
+  }
+
+let rule_pattern = Pattern.any
+
+let install ?(name = "wcmp") ?(variant = `Packet) enclave ~matrix =
+  let* () = Enclave.install_action enclave (spec ~name ~variant ()) in
   let* () = Enclave.set_global_array enclave ~action:name "Paths" matrix in
-  let* _ = Enclave.add_table_rule enclave ~pattern:Pattern.any ~action:name () in
+  let* _ = Enclave.add_table_rule enclave ~pattern:rule_pattern ~action:name () in
   Ok ()
 
 let set_matrix enclave ?(name = "wcmp") matrix =

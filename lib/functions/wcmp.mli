@@ -27,6 +27,15 @@ val native : Eden_enclave.Enclave.Native_ctx.t -> unit
 val ecmp_matrix : labels:int list -> int64 array
 (** Equal-weight matrix over the given labels. *)
 
+val spec :
+  ?name:string ->
+  ?variant:[ `Packet | `Message | `Compiled | `Compiled_message | `Native ] ->
+  unit ->
+  Eden_enclave.Enclave.install_spec
+(** The install spec alone, for controller-mediated deployment. *)
+
+val rule_pattern : Eden_base.Class_name.Pattern.t
+
 val install :
   ?name:string ->
   ?variant:[ `Packet | `Message | `Compiled | `Compiled_message | `Native ] ->

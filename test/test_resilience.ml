@@ -1,0 +1,447 @@
+(* Tests for the robustness layer: the fallible control channel's fault
+   semantics, controller retry and desired-state reconciliation, the
+   enclave's circuit breaker and snapshot/restore, and the chaos
+   scenarios under their CI seed. *)
+
+module Enclave = Eden_enclave.Enclave
+module Channel = Eden_controller.Channel
+module Controller = Eden_controller.Controller
+module Desired = Eden_controller.Desired
+module Policy = Eden_controller.Policy
+module Chaos = Eden_experiments.Chaos
+module Pias = Eden_functions.Pias
+module Addr = Eden_base.Addr
+module Packet = Eden_base.Packet
+module Metadata = Eden_base.Metadata
+module Pattern = Eden_base.Class_name.Pattern
+module Time = Eden_base.Time
+open Eden_lang
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let get_ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let get_sent = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected channel error: %s" (Channel.error_to_string e)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  go 0
+
+let flow ?(src = 1) ?(src_port = 1000) () =
+  Addr.five_tuple ~src:(Addr.endpoint src src_port) ~dst:(Addr.endpoint 2 80)
+    ~proto:Addr.Tcp
+
+let data_packet ?(id = 0L) f =
+  Packet.make ~id ~flow:f ~kind:Packet.Data ~payload:1000 ~metadata:Metadata.empty ()
+
+(* An action that faults (division by zero) whenever the global [D] is
+   zero — the controllable fault source for breaker tests. *)
+let divider_spec =
+  let schema = Schema.with_standard_packet ~global:[ Schema.field "D" ] () in
+  let act = Dsl.(action "divider" (set_pkt "Priority" (int 6 / glob "D"))) in
+  let program =
+    match Compile.compile schema act with
+    | Ok p -> p
+    | Error e -> invalid_arg (Compile.error_to_string e)
+  in
+  { Enclave.i_name = "divider"; i_impl = Enclave.Interpreted program; i_msg_sources = [] }
+
+let divider_enclave ~d =
+  let e = Enclave.create ~host:1 () in
+  get_ok (Enclave.install_action e divider_spec);
+  get_ok (Enclave.set_global e ~action:"divider" "D" d);
+  let _ = get_ok (Enclave.add_table_rule e ~pattern:Pattern.any ~action:"divider" ()) in
+  e
+
+let set_d = Channel.Set_global { action = "divider"; name = "D"; value = 7L }
+
+(* ------------------------------------------------------------------ *)
+(* Channel fault semantics *)
+
+let test_channel_drop () =
+  let ch = Channel.create (divider_enclave ~d:1L) in
+  Channel.script ch [ (0, Channel.Drop) ];
+  (match Channel.send ch ~op_id:1L ~gen:1 set_d with
+  | Error Channel.Lost -> ()
+  | r -> Alcotest.failf "expected Lost, got %s" (match r with Ok _ -> "Ok" | Error e -> Channel.error_to_string e));
+  check_bool "op not applied" true
+    (Enclave.get_global (Channel.enclave ch) ~action:"divider" "D" = Some 1L);
+  check_int "fault counted" 1 (Channel.faults_injected ch)
+
+let test_channel_ack_lost_then_retry () =
+  let ch = Channel.create (divider_enclave ~d:1L) in
+  Channel.script ch [ (0, Channel.Ack_lost) ];
+  (match Channel.send ch ~op_id:1L ~gen:1 set_d with
+  | Error Channel.Timeout -> ()
+  | _ -> Alcotest.fail "expected Timeout");
+  check_bool "op applied despite lost ack" true
+    (Enclave.get_global (Channel.enclave ch) ~action:"divider" "D" = Some 7L);
+  (* The retry replays the memoized outcome instead of re-applying. *)
+  let _ = get_sent (Channel.send ch ~op_id:1L ~gen:1 set_d) in
+  check_int "acked generation advanced once" 1 (Channel.acked_generation ch)
+
+let test_channel_duplicate_is_exactly_once () =
+  let ch = Channel.create (divider_enclave ~d:1L) in
+  Channel.script ch [ (0, Channel.Duplicate) ];
+  let rule = Channel.Add_rule { table = 0; pattern = Pattern.any; action = "divider" } in
+  let _ = get_sent (Channel.send ch ~op_id:1L ~gen:1 rule) in
+  let sn = Enclave.snapshot (Channel.enclave ch) in
+  let nrules = List.fold_left (fun acc (_, rs) -> acc + List.length rs) 0 sn.Enclave.sn_rules in
+  check_int "duplicate delivery added one rule, not two" 2 nrules
+(* 2 = the rule installed by divider_enclave plus exactly one from the op. *)
+
+let test_channel_delay () =
+  let ch = Channel.create (divider_enclave ~d:1L) in
+  Channel.script ch [ (0, Channel.Delay 1) ];
+  (match Channel.send ch ~op_id:1L ~gen:1 set_d with
+  | Error Channel.Timeout -> ()
+  | _ -> Alcotest.fail "expected Timeout");
+  check_int "op held back" 1 (Channel.delayed_count ch);
+  check_bool "not applied yet" true
+    (Enclave.get_global (Channel.enclave ch) ~action:"divider" "D" = Some 1L);
+  (* The next protocol interaction first flushes what is due. *)
+  let _ =
+    get_sent
+      (Channel.send ch ~op_id:2L ~gen:2
+         (Channel.Set_global { action = "divider"; name = "D"; value = 9L }))
+  in
+  check_int "nothing still delayed" 0 (Channel.delayed_count ch);
+  check_bool "delayed op landed before the later one" true
+    (Enclave.get_global (Channel.enclave ch) ~action:"divider" "D" = Some 9L)
+
+let test_channel_crash_restart () =
+  let ch = Channel.create (divider_enclave ~d:1L) in
+  let _ = get_sent (Channel.send ch ~op_id:1L ~gen:1 set_d) in
+  check_int "acked 1" 1 (Channel.acked_generation ch);
+  Channel.script ch [ (1, Channel.Crash_restart) ];
+  (match Channel.send ch ~op_id:2L ~gen:2 set_d with
+  | Error Channel.Crashed -> ()
+  | _ -> Alcotest.fail "expected Crashed");
+  check_bool "soft state wiped" true (Enclave.action_names (Channel.enclave ch) = []);
+  check_int "acked watermark wiped" 0 (Channel.acked_generation ch);
+  check_int "restart recorded" 1 (Enclave.restarts (Channel.enclave ch));
+  (* The memo died with the enclave: the retried op is genuinely
+     re-applied, and fails because the action is gone. *)
+  match Channel.send ch ~op_id:2L ~gen:2 set_d with
+  | Error (Channel.Rejected _) -> ()
+  | _ -> Alcotest.fail "expected Rejected on the wiped enclave"
+
+let test_channel_partition () =
+  let ch = Channel.create (divider_enclave ~d:1L) in
+  Channel.set_partitioned ch true;
+  (match Channel.send ch ~op_id:1L ~gen:1 set_d with
+  | Error Channel.Partitioned -> ()
+  | _ -> Alcotest.fail "expected Partitioned");
+  (match Channel.pull_state ch with
+  | Error Channel.Partitioned -> ()
+  | _ -> Alcotest.fail "expected Partitioned read");
+  Channel.set_partitioned ch false;
+  check_bool "a partition drops, it does not queue" true
+    (Enclave.get_global (Channel.enclave ch) ~action:"divider" "D" = Some 1L);
+  let _ = get_sent (Channel.send ch ~op_id:2L ~gen:1 set_d) in
+  ()
+
+let test_channel_random_faults_deterministic () =
+  let run () =
+    let ch = Channel.create ~seed:9L (divider_enclave ~d:1L) in
+    Channel.set_fault_rate ch 0.4;
+    List.init 40 (fun i ->
+        match Channel.send ch ~op_id:(Int64.of_int (i + 1)) ~gen:1 set_d with
+        | Ok _ -> "ok"
+        | Error e -> Channel.error_to_string e)
+  in
+  check_bool "same seed, same fault schedule" true (run () = run ())
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker *)
+
+let storm e ~from ~n =
+  for i = 0 to n - 1 do
+    let p = data_packet ~id:(Int64.of_int i) (flow ()) in
+    ignore (Enclave.process e ~now:(Time.add from (Time.us i)) p)
+  done
+
+let test_breaker_disabled_by_default () =
+  let e = divider_enclave ~d:0L in
+  storm e ~from:Time.zero ~n:20;
+  check_int "every invocation faulted" 20 (Enclave.counters e).Enclave.faults;
+  check_int "nothing quarantined" 0 (Enclave.counters e).Enclave.quarantined;
+  check_bool "no breaker state" true (Enclave.breaker_state e "divider" = None)
+
+let breaker_cfg =
+  { Enclave.br_window = 8; br_min_samples = 4; br_threshold = 0.5; br_cooldown = Time.us 100 }
+
+let test_breaker_trips_and_quarantines () =
+  let e = divider_enclave ~d:0L in
+  Enclave.set_breaker e (Some breaker_cfg);
+  storm e ~from:Time.zero ~n:20;
+  check_bool "breaker open" true (Enclave.breaker_state e "divider" = Some `Open);
+  check_int "tripped once" 1 (Enclave.breaker_trips e "divider");
+  check_int "faults cut off at the trip point" 4 (Enclave.counters e).Enclave.faults;
+  check_int "the rest quarantined" 16 (Enclave.counters e).Enclave.quarantined;
+  (* Quarantined packets fall through to default forwarding. *)
+  let p = data_packet (flow ()) in
+  match Enclave.process e ~now:(Time.us 50) p with
+  | Enclave.Forward _ -> ()
+  | Enclave.Dropped r -> Alcotest.failf "quarantined packet dropped: %s" r
+
+let test_breaker_half_open_recovery () =
+  let e = divider_enclave ~d:0L in
+  Enclave.set_breaker e (Some breaker_cfg);
+  storm e ~from:Time.zero ~n:10;
+  check_bool "open" true (Enclave.breaker_state e "divider" = Some `Open);
+  (* Repair the state, then probe after the cooldown. *)
+  get_ok (Enclave.set_global e ~action:"divider" "D" 3L);
+  let p = data_packet (flow ()) in
+  ignore (Enclave.process e ~now:(Time.ms 1) p);
+  check_bool "probe closed the breaker" true
+    (Enclave.breaker_state e "divider" = Some `Closed);
+  check_int "probe applied the policy" 2 p.Packet.priority
+
+let test_breaker_half_open_refail () =
+  let e = divider_enclave ~d:0L in
+  Enclave.set_breaker e (Some breaker_cfg);
+  storm e ~from:Time.zero ~n:10;
+  (* Still broken: the probe faults and the breaker reopens. *)
+  ignore (Enclave.process e ~now:(Time.ms 1) (data_packet (flow ())));
+  check_bool "reopened" true (Enclave.breaker_state e "divider" = Some `Open);
+  check_int "second trip" 2 (Enclave.breaker_trips e "divider")
+
+let test_breaker_config_validation () =
+  let e = divider_enclave ~d:1L in
+  Alcotest.check_raises "window too large"
+    (Invalid_argument "Enclave.set_breaker: window must be in [1, 62]") (fun () ->
+      Enclave.set_breaker e (Some { breaker_cfg with Enclave.br_window = 63 }))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore *)
+
+let test_snapshot_restore_roundtrip () =
+  let e = divider_enclave ~d:5L in
+  get_ok (Enclave.set_global_array e ~action:"divider" "A" [| 1L; 2L |]);
+  let t1 = Enclave.add_table e in
+  let _ = get_ok (Enclave.add_table_rule e ~table:t1 ~pattern:Pattern.any ~action:"divider" ()) in
+  let sn = Enclave.snapshot e in
+  let e2 = Enclave.create ~host:2 () in
+  get_ok (Enclave.restore e2 sn);
+  check_bool "restored configuration equals the original" true
+    (Enclave.config_equal sn (Enclave.snapshot e2));
+  (* And it behaves: the restored divider applies 6/5 = 1. *)
+  let p = data_packet (flow ()) in
+  ignore (Enclave.process e2 ~now:Time.zero p);
+  check_int "restored action runs" 1 p.Packet.priority
+
+let test_restart_wipes_but_forwards () =
+  let e = divider_enclave ~d:5L in
+  ignore (Enclave.process e ~now:Time.zero (data_packet (flow ())));
+  Enclave.restart e;
+  check_bool "actions gone" true (Enclave.action_names e = []);
+  check_int "counters reset" 0 (Enclave.counters e).Enclave.packets;
+  check_int "restart counted" 1 (Enclave.restarts e);
+  let p = data_packet (flow ()) in
+  match Enclave.process e ~now:(Time.us 1) p with
+  | Enclave.Forward _ -> check_bool "no stale policy applied" true (p.Packet.priority = 0)
+  | Enclave.Dropped r -> Alcotest.failf "wiped enclave dropped the packet: %s" r
+
+(* ------------------------------------------------------------------ *)
+(* Controller: retry, rollback, reconciliation *)
+
+let fresh_fleet ?(hosts = 2) () =
+  let ctl = Controller.create ~seed:11L () in
+  let enclaves =
+    Array.init hosts (fun i ->
+        let e = Enclave.create ~host:i () in
+        Controller.register_enclave ctl e;
+        e)
+  in
+  (ctl, enclaves)
+
+let chan ctl h = Option.get (Controller.channel_for ctl h)
+
+let test_retry_is_deterministic () =
+  let run () =
+    let ctl, _ = fresh_fleet ~hosts:1 () in
+    Channel.script (chan ctl 0) [ (0, Channel.Drop); (1, Channel.Drop) ];
+    get_ok (Controller.install_action_everywhere ctl divider_spec);
+    let s = Controller.stats ctl in
+    (s.Controller.rs_attempts, s.Controller.rs_retries, s.Controller.rs_backoff)
+  in
+  check_bool "same seed, same retries and jitter" true (run () = run ())
+
+let test_retry_exhaustion_marks_divergent () =
+  let ctl, enclaves = fresh_fleet () in
+  (* Host 1 drops everything: the push commits anyway, host 1 diverges. *)
+  Channel.script (chan ctl 1) (List.init 16 (fun i -> (i, Channel.Drop)));
+  get_ok (Controller.install_action_everywhere ctl divider_spec);
+  check_bool "host 0 got the action" true (Enclave.action_names enclaves.(0) = [ "divider" ]);
+  check_bool "host 1 did not" true (Enclave.action_names enclaves.(1) = []);
+  check_bool "host 1 divergent" true (Controller.divergent_hosts ctl = [ 1 ]);
+  check_int "one giveup" 1 (Controller.stats ctl).Controller.rs_giveups;
+  check_bool "not converged" true (not (Controller.converged ctl))
+
+let test_rejection_rolls_back_and_names_divergent () =
+  let ctl, enclaves = fresh_fleet () in
+  (* Host 1 will reject the install (name collision with a directly
+     installed action); host 0 applies it, then drops the rollback. *)
+  get_ok (Enclave.install_action enclaves.(1) divider_spec);
+  Channel.script (chan ctl 0) (List.init 16 (fun i -> (i + 1, Channel.Drop)));
+  (match Controller.install_action_everywhere ctl divider_spec with
+  | Ok () -> Alcotest.fail "expected the push to be rejected"
+  | Error msg ->
+    check_bool "error names the rejecting host" true (contains ~sub:"host 1 rejected" msg);
+    check_bool "error names the hosts left divergent" true
+      (contains ~sub:"rollback failed on hosts [0]" msg));
+  check_bool "host 0 divergent" true (Controller.divergent_hosts ctl = [ 0 ]);
+  check_bool "desired state clean" true
+    (not (Desired.has_action (Controller.desired ctl) "divider"));
+  check_int "generation unchanged" 0 (Controller.generation ctl);
+  (* Reconciliation removes the orphaned action from host 0. *)
+  Channel.script (chan ctl 0) [];
+  (match Controller.reconcile_enclave ctl (chan ctl 0) with
+  | Controller.Repaired _ -> ()
+  | o -> Alcotest.failf "expected repair, got %s" (Controller.reconcile_outcome_to_string o));
+  check_bool "orphan removed" true (Enclave.action_names enclaves.(0) = [])
+
+let test_duplicates_do_not_double_bump () =
+  let ctl, enclaves = fresh_fleet () in
+  Channel.script (chan ctl 0) (List.init 16 (fun i -> (i, Channel.Duplicate)));
+  Channel.script (chan ctl 1) (List.init 8 (fun i -> (2 * i, Channel.Ack_lost)));
+  get_ok (Controller.install_action_everywhere ctl divider_spec);
+  get_ok (Controller.set_global_everywhere ctl ~action:"divider" "D" 4L);
+  check_int "two changes, two bumps" 2 (Controller.generation ctl);
+  check_bool "retries happened" true ((Controller.stats ctl).Controller.rs_retries > 0);
+  Array.iter
+    (fun e ->
+      check_bool "exactly one install" true (Enclave.action_names e = [ "divider" ]);
+      check_bool "state bound" true (Enclave.get_global e ~action:"divider" "D" = Some 4L))
+    enclaves;
+  check_bool "converged" true (Controller.converged ctl)
+
+let test_reconcile_after_restart () =
+  let ctl, enclaves = fresh_fleet () in
+  get_ok (Controller.install_action_everywhere ctl divider_spec);
+  get_ok (Controller.set_global_everywhere ctl ~action:"divider" "D" 4L);
+  get_ok (Controller.add_rule_everywhere ctl ~pattern:Pattern.any ~action:"divider" ());
+  check_bool "converged before the crash" true (Controller.converged ctl);
+  Channel.inject_restart (chan ctl 1);
+  check_bool "restart breaks convergence" true (not (Controller.converged ctl));
+  check_int "watermark wiped" 0 (Channel.acked_generation (chan ctl 1));
+  (match List.assoc 1 (Controller.reconcile ctl) with
+  | Controller.Repaired n -> check_bool "several repair ops" true (n >= 3)
+  | o -> Alcotest.failf "expected repair, got %s" (Controller.reconcile_outcome_to_string o));
+  check_bool "converged after reconcile" true (Controller.converged ctl);
+  check_int "watermark caught up" (Controller.generation ctl)
+    (Channel.acked_generation (chan ctl 1));
+  check_bool "restored binding" true
+    (Enclave.get_global enclaves.(1) ~action:"divider" "D" = Some 4L)
+
+let test_partition_heal_convergence () =
+  let ctl, enclaves = fresh_fleet () in
+  get_ok
+    (Policy.flow_scheduling ctl ~scheme:`Pias ~cdf:[ (1.0e6, 0.5); (2.0e6, 1.0) ] ());
+  Channel.set_partitioned (chan ctl 1) true;
+  get_ok
+    (Policy.update_flow_scheduling_thresholds ctl ~scheme:`Pias
+       ~cdf:[ (100.0, 0.5); (200.0, 1.0) ] ());
+  check_bool "divergent while partitioned" true (Controller.divergent_hosts ctl = [ 1 ]);
+  check_bool "stale thresholds still bound" true
+    (match Enclave.get_global_array enclaves.(1) ~action:"pias" "Thresholds" with
+    | Some a -> Array.length a > 0 && a.(0) > 1000L
+    | None -> false);
+  Channel.set_partitioned (chan ctl 1) false;
+  (match List.assoc 1 (Controller.reconcile ctl) with
+  | Controller.Repaired _ -> ()
+  | o -> Alcotest.failf "expected repair, got %s" (Controller.reconcile_outcome_to_string o));
+  check_bool "converged after heal" true (Controller.converged ctl);
+  check_bool "fresh thresholds bound" true
+    (match Enclave.get_global_array enclaves.(1) ~action:"pias" "Thresholds" with
+    | Some a -> Array.length a > 0 && a.(0) <= 1000L
+    | None -> false)
+
+let test_reports_include_resilience_columns () =
+  let ctl, _ = fresh_fleet ~hosts:1 () in
+  get_ok (Controller.install_action_everywhere ctl divider_spec);
+  Channel.inject_restart (chan ctl 0);
+  match Controller.collect_reports ctl with
+  | [ r ] ->
+    check_int "restart visible in the report" 1 r.Controller.er_restarts;
+    check_int "watermark visible in the report" 0 r.Controller.er_generation
+  | rs -> Alcotest.failf "expected one report, got %d" (List.length rs)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos scenarios under the CI seed *)
+
+let test_chaos_scenarios_pass () =
+  let reports = Chaos.run_all ~seed:42L () in
+  check_int "all scenarios ran" (List.length Chaos.scenario_names) (List.length reports);
+  List.iter
+    (fun r ->
+      List.iter
+        (fun c ->
+          if not c.Chaos.ck_ok then
+            Alcotest.failf "%s: %s — %s" r.Chaos.r_scenario c.Chaos.ck_name c.Chaos.ck_detail)
+        r.Chaos.r_checks)
+    reports;
+  check_bool "chaos suite green" true (Chaos.all_passed reports)
+
+let test_chaos_deterministic () =
+  let strip r = (r.Chaos.r_scenario, r.Chaos.r_checks, r.Chaos.r_ops_sent, r.Chaos.r_faults_injected) in
+  check_bool "same seed, same run" true
+    (List.map strip (Chaos.run_all ~seed:7L ()) = List.map strip (Chaos.run_all ~seed:7L ()))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "eden_resilience"
+    [
+      ( "channel",
+        [
+          Alcotest.test_case "drop" `Quick test_channel_drop;
+          Alcotest.test_case "ack lost + retry" `Quick test_channel_ack_lost_then_retry;
+          Alcotest.test_case "duplicate delivery" `Quick test_channel_duplicate_is_exactly_once;
+          Alcotest.test_case "delayed delivery" `Quick test_channel_delay;
+          Alcotest.test_case "crash restart" `Quick test_channel_crash_restart;
+          Alcotest.test_case "partition" `Quick test_channel_partition;
+          Alcotest.test_case "random faults deterministic" `Quick
+            test_channel_random_faults_deterministic;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "disabled by default" `Quick test_breaker_disabled_by_default;
+          Alcotest.test_case "trips and quarantines" `Quick test_breaker_trips_and_quarantines;
+          Alcotest.test_case "half-open recovery" `Quick test_breaker_half_open_recovery;
+          Alcotest.test_case "half-open refail" `Quick test_breaker_half_open_refail;
+          Alcotest.test_case "config validation" `Quick test_breaker_config_validation;
+        ] );
+      ( "soft state",
+        [
+          Alcotest.test_case "snapshot/restore roundtrip" `Quick test_snapshot_restore_roundtrip;
+          Alcotest.test_case "restart wipes but forwards" `Quick test_restart_wipes_but_forwards;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "retry deterministic" `Quick test_retry_is_deterministic;
+          Alcotest.test_case "exhaustion marks divergent" `Quick
+            test_retry_exhaustion_marks_divergent;
+          Alcotest.test_case "rejection rolls back, names divergent" `Quick
+            test_rejection_rolls_back_and_names_divergent;
+          Alcotest.test_case "duplicates do not double-bump" `Quick
+            test_duplicates_do_not_double_bump;
+          Alcotest.test_case "reconcile after restart" `Quick test_reconcile_after_restart;
+          Alcotest.test_case "partition/heal convergence" `Quick
+            test_partition_heal_convergence;
+          Alcotest.test_case "reports carry resilience columns" `Quick
+            test_reports_include_resilience_columns;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "scenarios pass under CI seed" `Quick test_chaos_scenarios_pass;
+          Alcotest.test_case "runs are deterministic" `Quick test_chaos_deterministic;
+        ] );
+    ]
