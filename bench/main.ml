@@ -7,13 +7,14 @@
      dune exec bench/main.exe -- quick        -- everything, scaled down
      dune exec bench/main.exe -- micro --json BENCH_micro.json
 
-   Sections: table1 table2 listings footprint micro analysis fig9 fig10
-             fig11 fig12 resilience ablations
+   Sections: table1 table2 listings footprint micro analysis parallel
+             fig9 fig10 fig11 fig12 resilience ablations
 
    [--json FILE] additionally writes the measured rows of the Bechamel
-   sections (micro, analysis, resilience) to FILE as a JSON array of
-   {section, name, params, ns_per_op, steps} objects, so CI can diff
-   runs without scraping the human tables. *)
+   sections (micro, analysis, resilience) and the parallel scaling
+   sweep to FILE as a JSON array of {section, name, params, ns_per_op,
+   steps} objects, so CI can diff runs without scraping the human
+   tables. *)
 
 module Time = Eden_base.Time
 module Metadata = Eden_base.Metadata
@@ -222,6 +223,33 @@ let allocation_check () =
        over the no-policy baseline\n"
       delta;
     exit 1
+  end;
+  (* The batched entry point must stay on the same budget: its
+     per-packet grouping state is two preallocated refs, so the only
+     extra allocation over [process] is the result list and decision
+     records it returns. *)
+  let batch_words_per_packet e =
+    let pkts = List.init 32 (fun _ -> bench_packet ()) in
+    for i = 1 to 100 do
+      ignore (Enclave.process_batch e ~now:(Eden_base.Time.us i) pkts)
+    done;
+    let rounds = 400 in
+    let before = Gc.minor_words () in
+    for i = 1 to rounds do
+      ignore (Enclave.process_batch e ~now:(Eden_base.Time.us (100 + i)) pkts)
+    done;
+    (Gc.minor_words () -. before) /. float_of_int (rounds * 32)
+  in
+  let batched = batch_words_per_packet (pias_process_enclave `Compiled) in
+  Printf.printf
+    "allocation (minor words/packet): compiled pias via process_batch %.1f (budget %.0f)\n"
+    batched allocation_words_budget;
+  if batched -. base > allocation_words_budget then begin
+    Printf.printf
+      "ALLOCATION REGRESSION: process_batch allocates %.1f words/packet over the \
+       no-policy baseline\n"
+      (batched -. base);
+    exit 1
   end
 
 let micro () =
@@ -342,6 +370,28 @@ let micro () =
         Eden_enclave.Cost.os_model.Eden_enclave.Cost.per_step_ns
     | Error _ -> ())
   | None -> ());
+  (* Flow-cache behaviour under a many-flow workload: the per-table
+     match-action cache is bounded ([flow_cache_capacity]), so a stream
+     of more distinct class vectors than the capacity churns it. *)
+  let e = pias_process_enclave `Compiled in
+  let n_flows = 64 in
+  let pkts =
+    Array.init n_flows (fun i ->
+        Packet.make ~id:(Int64.of_int i)
+          ~flow:
+            (Addr.five_tuple ~src:(Addr.endpoint 1 (1000 + i)) ~dst:(Addr.endpoint 2 80)
+               ~proto:Addr.Tcp)
+          ~kind:Packet.Data ~payload:1000 ())
+  in
+  for i = 0 to 9_999 do
+    ignore (Enclave.process e ~now:(Eden_base.Time.us (i + 1)) pkts.(i mod n_flows))
+  done;
+  let c = Enclave.counters e in
+  Printf.printf
+    "\nflow cache (capacity %d): 10k packets over %d flows -> %d hits, %d misses, %d \
+     evictions (the cache keys on class vectors; metadata-less flows share one)\n"
+    (Enclave.flow_cache_capacity e) n_flows c.Enclave.cache_hits c.Enclave.cache_misses
+    c.Enclave.cache_evictions;
   allocation_check ()
 
 (* ------------------------------------------------------------------ *)
@@ -743,6 +793,146 @@ let resilience () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Parallel sharded data path: throughput scaling across worker domains
+   (Shard).  Packets are prebuilt and fed fire-and-forget through the
+   SPSC rings; wall-clock over the whole stream gives pps.  On a
+   single-core container the sweep still runs (workers park on condvars,
+   the feeder blocks on full rings) but shows no speedup, so the scaling
+   assertion below is gated on the machine actually having cores. *)
+
+let parallel_bench quick =
+  section_header "Parallel sharded data path (RSS-style flow sharding)";
+  let module Shard = Eden_enclave.Shard in
+  let n_packets = if quick then 20_000 else 120_000 in
+  let shard_counts = [ 1; 2; 4; 8 ] in
+  let pool_mask = 4095 in
+  let mk_flow i =
+    Addr.five_tuple
+      ~src:(Addr.endpoint 1 (1000 + (i mod 64)))
+      ~dst:(Addr.endpoint 2 80) ~proto:Addr.Tcp
+  in
+  let mk_pool md_of =
+    Array.init (pool_mask + 1) (fun i ->
+        Packet.make ~id:(Int64.of_int i) ~flow:(mk_flow i) ~kind:Packet.Data ~seq:i
+          ~payload:(200 + (113 * i mod 1200))
+          ~metadata:(md_of i) ())
+  in
+  let plain_pool = mk_pool (fun _ -> Metadata.empty) in
+  let storage_pool =
+    (* Pulsar only fires on storage-stage classes; give it its own
+       workload of READ/WRITE ops spread over 64 messages and 3 tenants. *)
+    mk_pool (fun i ->
+        let op = if i mod 2 = 0 then "READ" else "WRITE" in
+        let md = Metadata.with_msg_id (Int64.of_int (100 + (i mod 64))) Metadata.empty in
+        let md =
+          Metadata.add_class
+            (Eden_base.Class_name.v ~stage:"storage" ~ruleset:"ops" ~name:op)
+            md
+        in
+        let md = Metadata.add "operation" (Metadata.str op) md in
+        let md = Metadata.add "tenant" (Metadata.int (i mod 3)) md in
+        Metadata.add "msg_size" (Metadata.int (512 * (1 + (i mod 7)))) md)
+  in
+  let sff_pool =
+    mk_pool (fun i -> Eden_functions.Sff.metadata_for ~size:(512 * (1 + (i mod 9))))
+  in
+  let subjects =
+    [
+      ( "wcmp",
+        (fun e v ->
+          Eden_functions.Wcmp.install
+            ~variant:(match v with `Interp -> `Packet | `Compiled -> `Compiled)
+            e
+            ~matrix:(Eden_functions.Wcmp.ecmp_matrix ~labels:[ 1; 2; 3 ])),
+        plain_pool );
+      ( "pias",
+        (fun e v ->
+          Eden_functions.Pias.install
+            ~variant:(match v with `Interp -> `Interpreted | `Compiled -> `Compiled)
+            e ~thresholds:[| 10_240L; 1_048_576L |]),
+        plain_pool );
+      ( "pulsar",
+        (fun e v ->
+          Eden_functions.Pulsar.install
+            ~variant:(match v with `Interp -> `Interpreted | `Compiled -> `Compiled)
+            e ~queue_map:[| 1; 2; 3 |]),
+        storage_pool );
+      ( "sff",
+        (fun e v ->
+          Eden_functions.Sff.install
+            ~variant:(match v with `Interp -> `Interpreted | `Compiled -> `Compiled)
+            e ~thresholds:[| 1024L; 4096L |]),
+        sff_pool );
+    ]
+  in
+  let measure install pool variant shards =
+    let e = Enclave.create ~host:1 () in
+    (match install e variant with Ok () -> () | Error msg -> invalid_arg msg);
+    match Eden_enclave.Shard.create ~shards ~parallel:true e with
+    | Error msg -> invalid_arg msg
+    | Ok s ->
+      let now = ref 0 in
+      let feed n =
+        for _ = 1 to n do
+          incr now;
+          Shard.feed s ~now:(Time.us !now) pool.(!now land pool_mask)
+        done;
+        Shard.drain s
+      in
+      feed 2_000;
+      let t0 = Unix.gettimeofday () in
+      feed n_packets;
+      let dt = Unix.gettimeofday () -. t0 in
+      let c = Shard.counters s in
+      if c.Enclave.packets < n_packets then invalid_arg "parallel bench lost packets";
+      Shard.stop s;
+      float_of_int n_packets /. dt
+  in
+  Printf.printf "throughput (Mpps), %d-packet stream, %d flows/messages:\n\n" n_packets 64;
+  Printf.printf "%-20s" "function/engine";
+  List.iter (fun n -> Printf.printf "%10s" (Printf.sprintf "%d shard%s" n (if n = 1 then "" else "s"))) shard_counts;
+  Printf.printf "%12s\n" "4v1 speedup";
+  Printf.printf "%s\n" (String.make 72 '-');
+  let speedups = Hashtbl.create 8 in
+  List.iter
+    (fun (name, install, pool) ->
+      List.iter
+        (fun (vlabel, variant) ->
+          let pps =
+            List.map
+              (fun shards ->
+                let pps = measure install pool variant shards in
+                add_json ~section:"parallel"
+                  (Printf.sprintf "parallel/%s/%s/shards=%d" name vlabel shards)
+                  (1e9 /. pps);
+                (shards, pps))
+              shard_counts
+          in
+          let p1 = List.assoc 1 pps and p4 = List.assoc 4 pps in
+          Hashtbl.replace speedups (name, vlabel) (p4 /. p1);
+          Printf.printf "%-20s" (name ^ "/" ^ vlabel);
+          List.iter (fun (_, p) -> Printf.printf "%10.2f" (p /. 1e6)) pps;
+          Printf.printf "%11.2fx\n" (p4 /. p1))
+        [ ("interp", `Interp); ("compiled", `Compiled) ])
+    subjects;
+  let cores = Domain.recommended_domain_count () in
+  let sp = try Hashtbl.find speedups ("pias", "compiled") with Not_found -> 0.0 in
+  if cores >= 4 then begin
+    Printf.printf "\ncompiled PIAS at 4 shards: %.2fx vs 1 shard (%d cores, require >= 1.6x)\n"
+      sp cores;
+    if sp < 1.6 then begin
+      Printf.printf
+        "PARALLEL SCALING REGRESSION: compiled PIAS speedup %.2fx at 4 shards < 1.6x\n" sp;
+      exit 1
+    end
+  end
+  else
+    Printf.printf
+      "\ncompiled PIAS at 4 shards: %.2fx vs 1 shard — scaling assertion skipped: only %d \
+       core%s available, 4-domain speedup is not measurable here\n"
+      sp cores (if cores = 1 then "" else "s")
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let () =
@@ -771,6 +961,7 @@ let () =
   end;
   if want "micro" then micro ();
   if want "analysis" then analysis ();
+  if want "parallel" then parallel_bench quick;
   if want "fig9" then begin
     section_header "Figure 9 (case study 1: flow scheduling)";
     let params =

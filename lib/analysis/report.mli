@@ -4,6 +4,10 @@ type t = {
   r_name : string;
   r_footprint : Effects.footprint;
   r_concurrency : [ `Parallel | `Per_message | `Serial ];
+  r_shard : Eden_bytecode.Shardclass.klass;
+      (** How the multicore front-end ({!Eden_enclave.Shard}) will run
+          this action: fully sharded, per-shard delta accumulators, or
+          serialized behind a per-action mutex. *)
   r_diagnostics : string list;  (** Empty unless the action is rejectable. *)
   r_nodes_before : int;
   r_nodes_after : int;

@@ -11,6 +11,19 @@ let mix64 z =
 
 let create seed = { state = mix64 seed }
 
+(* Shard streams: the SplitMix split construction, applied statically.
+   Stream [i] of a seed starts from an independently mixed point of the
+   gamma sequence, so per-shard generators neither collide with each
+   other nor with [create seed] itself (stream indices are offset by
+   one), and a fixed (seed, shard count) always yields the same set of
+   streams. *)
+let stream_seed seed index =
+  if index < 0 then invalid_arg "Rng.stream_seed: index must be non-negative";
+  mix64
+    (Int64.add
+       (mix64 (Int64.logxor seed 0x5851F42D4C957F2DL))
+       (Int64.mul (Int64.of_int (index + 1)) golden_gamma))
+
 let int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state

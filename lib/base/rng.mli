@@ -15,6 +15,14 @@ val create : int64 -> t
 val split : t -> t
 (** [split t] derives an independent generator; [t] advances. *)
 
+val stream_seed : int64 -> int -> int64
+(** [stream_seed seed i] derives the seed of the [i]-th independent
+    stream of [seed] (SplitMix split, computed statically): shard [i] of
+    a sharded data path seeds its generator with it.  Distinct indices
+    give unrelated streams, none collides with [create seed], and the
+    mapping is a pure function — a fixed (seed, shard count) always
+    reproduces the same streams.  Requires [i >= 0]. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit value. *)
 

@@ -90,6 +90,9 @@ type counters = {
   mutable faults : int;
   mutable interp_steps : int;
   mutable quarantined : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
 }
 
 type fault_record = {
@@ -418,24 +421,28 @@ type engine =
 type installed = {
   a_name : string;
   a_spec : install_spec;  (* retained for snapshot/restore and reconciliation *)
-  a_state : State.t;
+  mutable a_state : State.t;  (* swappable so shards can share one store *)
   a_msg_sources : (string, msg_field_source) Hashtbl.t;
   a_concurrency : [ `Parallel | `Per_message | `Serial ];
   a_engine : engine;
   a_brk : brk;
+  mutable a_lock : Mutex.t option;
+      (* serialization fallback for sharded execution: when set, every
+         invocation of this action runs under the mutex *)
 }
 
 (* A table's resolved lookup for one class vector.  [C_none] caches "no
    rule fires here" so misses are as cheap as hits. *)
 type cached = C_none | C_run of Table.rule * installed
 
-let cache_cap = 4096
 let fault_ring_capacity = 100
 
 type t = {
   e_host : Addr.host;
   e_placement : placement;
+  e_seed : int64;
   e_rng : Rng.t;
+  e_cache_cap : int;  (* per-table match-action cache capacity *)
   e_flow_stage : Stage.t;
   e_flow_ids : int64 Addr.Flow_table.t;
   mutable e_next_flow_id : int64;
@@ -463,12 +470,16 @@ type t = {
    the two spaces cannot collide. *)
 let flow_id_base = Int64.shift_left 1L 40
 
-let create ?(placement = Os) ?(seed = 0xEDE1L) ~host () =
+let create ?(placement = Os) ?(seed = 0xEDE1L) ?(flow_cache_capacity = 4096) ~host () =
+  if flow_cache_capacity < 1 then
+    invalid_arg "Enclave.create: flow_cache_capacity must be positive";
   let t =
     {
       e_host = host;
       e_placement = placement;
+      e_seed = seed;
       e_rng = Rng.create (Int64.add seed (Int64.of_int host));
+      e_cache_cap = flow_cache_capacity;
       e_flow_stage = Builtin.flow ();
       e_flow_ids = Addr.Flow_table.create 64;
       e_next_flow_id = flow_id_base;
@@ -487,6 +498,9 @@ let create ?(placement = Os) ?(seed = 0xEDE1L) ~host () =
           faults = 0;
           interp_steps = 0;
           quarantined = 0;
+          cache_hits = 0;
+          cache_misses = 0;
+          cache_evictions = 0;
         };
       e_faults = Array.make fault_ring_capacity None;
       e_fault_next = 0;
@@ -525,6 +539,8 @@ let create ?(placement = Os) ?(seed = 0xEDE1L) ~host () =
 
 let host t = t.e_host
 let placement t = t.e_placement
+let seed t = t.e_seed
+let flow_cache_capacity t = t.e_cache_cap
 let flow_stage t = t.e_flow_stage
 let set_enforce t b = t.e_enforce <- b
 let counters t = t.e_counters
@@ -664,6 +680,7 @@ let install_action_full t spec =
           a_concurrency = concurrency;
           a_engine = engine;
           a_brk = make_brk ();
+          a_lock = None;
         };
       t.e_install_order <- t.e_install_order @ [ spec.i_name ];
       invalidate_caches t;
@@ -743,6 +760,44 @@ let get_global_array t ~action name =
   match Hashtbl.find_opt t.e_actions action with
   | None -> None
   | Some a -> Some (State.global_array a.a_state name)
+
+(* ------------------------------------------------------------------ *)
+(* Sharding runtime hooks ({!Shard}).
+
+   A sharded front-end runs one enclave replica per worker domain.  For
+   actions whose effect footprint cannot be partitioned, the shard
+   runtime points every replica at one shared state store and arms the
+   per-action mutex, so only that action serializes while the rest of
+   the data path stays lock-free. *)
+
+let invalidate_plan = function
+  | E_interp (_, _, plan) | E_compiled (_, plan) -> plan.pl_version <- -1
+  | E_native _ -> ()
+
+let action_program t name =
+  match Hashtbl.find_opt t.e_actions name with
+  | None -> None
+  | Some a -> (
+    match a.a_engine with
+    | E_interp (p, _, _) -> Some p
+    | E_compiled (_, plan) -> Some plan.pl_prog
+    | E_native _ -> None)
+
+let action_state t name =
+  Option.map (fun a -> a.a_state) (Hashtbl.find_opt t.e_actions name)
+
+let set_action_state t name st =
+  with_action t name (fun a ->
+      a.a_state <- st;
+      (* Live-array aliases in the marshal plan point into the old
+         store; force a rebind before the next invocation. *)
+      invalidate_plan a.a_engine)
+
+let set_action_lock t name lock = with_action t name (fun a -> a.a_lock <- lock)
+
+let set_flow_id_offset t offset =
+  if offset < 0L then invalid_arg "Enclave.set_flow_id_offset: negative offset";
+  t.e_next_flow_id <- Int64.add flow_id_base offset
 
 (* ------------------------------------------------------------------ *)
 (* Graceful degradation: breaker configuration *)
@@ -838,6 +893,9 @@ let restart t =
   c.faults <- 0;
   c.interp_steps <- 0;
   c.quarantined <- 0;
+  c.cache_hits <- 0;
+  c.cache_misses <- 0;
+  c.cache_evictions <- 0;
   Array.fill t.e_faults 0 fault_ring_capacity None;
   t.e_fault_next <- 0;
   t.e_fault_count <- 0;
@@ -1026,11 +1084,22 @@ let run_native t a f pkt md msg_id out ~now =
 
 let max_table_hops = 8
 
-let invoke_engine t a pkt md msg_id out ~now =
+let dispatch_engine t a pkt md msg_id out ~now =
   match a.a_engine with
   | E_interp (p, scratch, plan) -> run_interpreted t a p scratch plan pkt md msg_id out ~now
   | E_compiled (c, plan) -> run_compiled t a c plan pkt md msg_id out ~now
   | E_native f -> run_native t a f pkt md msg_id out ~now
+
+let invoke_engine t a pkt md msg_id out ~now =
+  match a.a_lock with
+  | None -> dispatch_engine t a pkt md msg_id out ~now
+  | Some m ->
+    Mutex.lock m;
+    (try dispatch_engine t a pkt md msg_id out ~now
+     with exn ->
+       Mutex.unlock m;
+       raise exn);
+    Mutex.unlock m
 
 (* Table walk with the per-flow match-action cache: the resolution of a
    class vector at a table — which rule fires and which installed action
@@ -1042,8 +1111,11 @@ let rec walk t ~now pkt md msg_id classes out table_id hops =
     let cache = t.e_caches.(table_id) in
     let entry =
       match Hashtbl.find cache classes with
-      | e -> e
+      | e ->
+        t.e_counters.cache_hits <- t.e_counters.cache_hits + 1;
+        e
       | exception Not_found ->
+        t.e_counters.cache_misses <- t.e_counters.cache_misses + 1;
         let e =
           match Hashtbl.find_opt t.e_tables table_id with
           | None -> C_none
@@ -1055,7 +1127,11 @@ let rec walk t ~now pkt md msg_id classes out table_id hops =
               | None -> C_none
               | Some a -> C_run (rule, a)))
         in
-        if Hashtbl.length cache >= cache_cap then Hashtbl.reset cache;
+        let len = Hashtbl.length cache in
+        if len >= t.e_cache_cap then begin
+          t.e_counters.cache_evictions <- t.e_counters.cache_evictions + len;
+          Hashtbl.reset cache
+        end;
         Hashtbl.replace cache classes e;
         e
     in
@@ -1134,20 +1210,28 @@ let process t ~now pkt = process_one t ~now ~charge_classify:true pkt
    metadata handoff over each run.  Action-function semantics (state
    updates, outputs) stay strictly per packet and in order. *)
 let process_batch t ~now pkts =
-  let key (pkt : Packet.t) =
-    match Metadata.msg_id pkt.Packet.metadata with
-    | Some id -> `Msg id
-    | None -> `Flow (Addr.hash_five_tuple pkt.Packet.flow)
-  in
-  let rec go prev_key acc = function
-    | [] -> List.rev acc
-    | pkt :: rest ->
-      let k = key pkt in
-      let charge_classify = Some k <> prev_key in
-      let d = process_one t ~now ~charge_classify pkt in
-      go (Some k) (d :: acc) rest
-  in
-  go None [] pkts
+  (* The group key lives in two immediate ints (a tag plus the message
+     id truncated to 63 bits, or the flow hash) so keying a packet
+     allocates nothing; a truncation collision could at worst merge two
+     charge groups, never change a decision.  [process_one] reuses the
+     per-enclave invocation environment, so the whole batched path runs
+     without per-packet environment allocation. *)
+  let prev_tag = ref 0 (* 0 = start of batch, 1 = message id, 2 = flow hash *)
+  and prev_key = ref 0 in
+  List.map
+    (fun (pkt : Packet.t) ->
+      let id = Metadata.msg_id pkt.Packet.metadata in
+      let tag = match id with Some _ -> 1 | None -> 2 in
+      let key =
+        match id with
+        | Some id -> Int64.to_int id
+        | None -> Addr.hash_five_tuple pkt.Packet.flow
+      in
+      let charge_classify = tag <> !prev_tag || key <> !prev_key in
+      prev_tag := tag;
+      prev_key := key;
+      process_one t ~now ~charge_classify pkt)
+    pkts
 
 let note_message_end t ~msg_id =
   Hashtbl.iter (fun _ a -> State.msg_end a.a_state ~msg:msg_id) t.e_actions

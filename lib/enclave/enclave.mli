@@ -85,6 +85,11 @@ type counters = {
   mutable quarantined : int;
       (** Packets that matched a rule whose action was quarantined by the
           circuit breaker and fell through to default forwarding. *)
+  mutable cache_hits : int;  (** Match-action cache: class vector resolved by probe. *)
+  mutable cache_misses : int;  (** Full table lookups (then memoised). *)
+  mutable cache_evictions : int;
+      (** Entries dropped when a table cache hit {!flow_cache_capacity}
+          and was reset. *)
 }
 
 type fault_record = {
@@ -95,9 +100,24 @@ type fault_record = {
 
 type t
 
-val create : ?placement:placement -> ?seed:int64 -> host:Eden_base.Addr.host -> unit -> t
+val create :
+  ?placement:placement ->
+  ?seed:int64 ->
+  ?flow_cache_capacity:int ->
+  host:Eden_base.Addr.host ->
+  unit ->
+  t
+(** [flow_cache_capacity] bounds each table's per-flow match-action
+    cache (default 4096 class vectors; must be positive). *)
+
 val host : t -> Eden_base.Addr.host
 val placement : t -> placement
+
+val seed : t -> int64
+(** The seed this enclave was created with; a sharded front-end derives
+    per-shard streams from it ({!Eden_base.Rng.stream_seed}). *)
+
+val flow_cache_capacity : t -> int
 
 val flow_stage : t -> Eden_stage.Stage.t
 (** The enclave's own packet-header stage; install five-tuple rule-sets
@@ -178,6 +198,33 @@ val set_global_array : t -> action:string -> string -> int64 array -> (unit, str
 val get_global_array : t -> action:string -> string -> int64 array option
 
 val counters : t -> counters
+
+(** {2 Sharding runtime hooks}
+
+    Used by {!Shard} to run one enclave replica per worker domain.  For
+    an action whose state cannot be partitioned, the shard runtime
+    points every replica at a single shared state store and arms a
+    per-action mutex, serializing just that action while the rest of the
+    data path stays lock-free.  Not intended for controllers. *)
+
+val action_program : t -> string -> Eden_bytecode.Program.t option
+(** The installed bytecode (either engine); [None] for native actions or
+    when the action is absent. *)
+
+val action_state : t -> string -> State.t option
+
+val set_action_state : t -> string -> State.t -> (unit, string) result
+(** Point the action at a (possibly shared) state store; its marshal
+    plan rebinds before the next invocation. *)
+
+val set_action_lock : t -> string -> Mutex.t option -> (unit, string) result
+(** When set, every invocation of the action runs under the mutex. *)
+
+val set_flow_id_offset : t -> int64 -> unit
+(** Shift the base of this enclave's internally-assigned flow ids.
+    Replicas sharing a state store (serialized actions) must draw flow
+    ids from disjoint ranges, or two different flows on two shards would
+    collide on one per-message state entry.  Call before any traffic. *)
 
 (** {2 Graceful degradation (circuit breaker)} *)
 

@@ -1,0 +1,399 @@
+module Addr = Eden_base.Addr
+module Packet = Eden_base.Packet
+module Metadata = Eden_base.Metadata
+module Time = Eden_base.Time
+module Rng = Eden_base.Rng
+module P = Eden_bytecode.Program
+module Shardclass = Eden_bytecode.Shardclass
+
+type event =
+  | Ev_packet of Time.t * Packet.t
+  | Ev_set_global of { action : string; name : string; value : int64 }
+  | Ev_set_global_array of { action : string; name : string; values : int64 array }
+
+(* Ring items.  [I_packet] carries the result array of its stream so a
+   worker can publish the decision by index; [I_fire] is the
+   measurement path (decision discarded); control items are broadcast
+   to every ring so each shard applies them at its own deterministic
+   stream position. *)
+type item =
+  | I_none
+  | I_packet of {
+      pkt : Packet.t;
+      now : Time.t;
+      idx : int;
+      res : Enclave.decision option array;
+    }
+  | I_fire of { pkt : Packet.t; now : Time.t }
+  | I_set_global of { action : string; name : string; value : int64 }
+  | I_set_global_array of { action : string; name : string; values : int64 array }
+  | I_stop
+
+type worker = {
+  w_enclave : Enclave.t;
+  w_ring : item Spsc.t;
+  w_processed : int Atomic.t;
+  mutable w_pushed : int;  (* feeder-thread private *)
+  mutable w_domain : unit Domain.t option;
+  w_errors : int Atomic.t;
+  (* Parking spot for a feeder waiting in [drain]. *)
+  w_lock : Mutex.t;
+  w_done : Condition.t;
+  w_feeder_waiting : bool Atomic.t;
+}
+
+type t = {
+  s_workers : worker array;
+  s_parallel : bool;
+  s_batch : int;
+  s_classes : (string * Shardclass.klass) list;  (* install order *)
+  s_locks : (string, Mutex.t) Hashtbl.t;  (* serialized actions *)
+  s_delta : (string * string, int64 ref) Hashtbl.t;
+      (* (action, field) -> base value for the delta merge; updated at
+         enqueue time, i.e. at the event's sequential stream position *)
+  mutable s_stopped : bool;
+}
+
+let shards t = Array.length t.s_workers
+let parallel t = t.s_parallel
+let classification t = t.s_classes
+
+(* 64-bit finalizer (murmur3) — RSS-style spreading of correlated keys. *)
+let mix_int64 v =
+  let v = Int64.mul (Int64.logxor v (Int64.shift_right_logical v 33)) 0xFF51AFD7ED558CCDL in
+  let v = Int64.mul (Int64.logxor v (Int64.shift_right_logical v 33)) 0xC4CEB9FE1A85EC53L in
+  Int64.logxor v (Int64.shift_right_logical v 33)
+
+(* Mirrors the grouping key of [Enclave.process_batch]: the stage
+   message id when the packet arrives with one, the flow five-tuple
+   otherwise — so every packet of one logical key lands on one shard,
+   in stream order, and per-key state evolves exactly as sequentially. *)
+let route t (pkt : Packet.t) =
+  let n = Array.length t.s_workers in
+  if n = 1 then 0
+  else
+    let key =
+      match Metadata.msg_id pkt.Packet.metadata with
+      | Some id -> id
+      | None -> Int64.of_int (Addr.hash_five_tuple pkt.Packet.flow)
+    in
+    Int64.to_int (Int64.rem (Int64.logand (mix_int64 key) Int64.max_int) (Int64.of_int n))
+
+(* ------------------------------------------------------------------ *)
+(* Item execution — shared verbatim by worker domains and serial replay. *)
+
+let apply_set_global t w ~action ~name ~value =
+  match Hashtbl.find_opt t.s_locks action with
+  | Some m ->
+    (* Shared store: serialize against in-flight invocations.  Every
+       shard re-applies the same value, which is idempotent. *)
+    Mutex.lock m;
+    ignore (Enclave.set_global w.w_enclave ~action name value);
+    Mutex.unlock m
+  | None -> ignore (Enclave.set_global w.w_enclave ~action name value)
+
+let apply_set_global_array t w ~action ~name ~values =
+  (* Each replica gets its own copy — live arrays must never alias
+     across shards. *)
+  match Hashtbl.find_opt t.s_locks action with
+  | Some m ->
+    Mutex.lock m;
+    ignore (Enclave.set_global_array w.w_enclave ~action name (Array.copy values));
+    Mutex.unlock m
+  | None -> ignore (Enclave.set_global_array w.w_enclave ~action name (Array.copy values))
+
+let exec_item t w = function
+  | I_packet { pkt; now; idx; res } -> res.(idx) <- Some (Enclave.process w.w_enclave ~now pkt)
+  | I_fire { pkt; now } -> ignore (Enclave.process w.w_enclave ~now pkt)
+  | I_set_global { action; name; value } -> apply_set_global t w ~action ~name ~value
+  | I_set_global_array { action; name; values } ->
+    apply_set_global_array t w ~action ~name ~values
+  | I_none | I_stop -> ()
+
+let worker_loop t w batch =
+  let buf = Array.make batch I_none in
+  let stop = ref false in
+  while not !stop do
+    let n = Spsc.pop_batch_wait w.w_ring buf in
+    for i = 0 to n - 1 do
+      (match buf.(i) with
+      | I_stop -> stop := true
+      | item -> ( try exec_item t w item with _ -> Atomic.incr w.w_errors));
+      buf.(i) <- I_none
+    done;
+    ignore (Atomic.fetch_and_add w.w_processed n);
+    if Atomic.get w.w_feeder_waiting then begin
+      Mutex.lock w.w_lock;
+      Condition.broadcast w.w_done;
+      Mutex.unlock w.w_lock
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Creation *)
+
+let default_shards () = max 1 (Domain.recommended_domain_count () - 1)
+
+let create ?shards ?(parallel = true) ?(ring_capacity = 1024) ?(batch = 64) source =
+  let n = match shards with Some n -> n | None -> default_shards () in
+  if n < 1 || n > 64 then Error "Shard.create: shards must be in [1, 64]"
+  else if ring_capacity < 2 then Error "Shard.create: ring_capacity must be >= 2"
+  else if batch < 1 then Error "Shard.create: batch must be positive"
+  else begin
+    let snap = Enclave.snapshot source in
+    let names = List.map (fun (s : Enclave.install_spec) -> s.Enclave.i_name) snap.Enclave.sn_actions in
+    let classes =
+      List.map
+        (fun name ->
+          match Enclave.action_program source name with
+          | Some p -> (name, Shardclass.classify p)
+          | None -> (name, Shardclass.Serialized) (* native: opaque effects *))
+        names
+    in
+    let mk_replica i =
+      let r =
+        Enclave.create
+          ~placement:(Enclave.placement source)
+          ~seed:(Rng.stream_seed (Enclave.seed source) i)
+          ~flow_cache_capacity:(Enclave.flow_cache_capacity source)
+          ~host:(Enclave.host source) ()
+      in
+      Enclave.set_budget_ns r (Enclave.budget_ns source);
+      match Enclave.restore r snap with
+      | Ok () ->
+        (* Disjoint flow-id ranges per replica: serialized actions share
+           one state store keyed (in part) by enclave-assigned flow ids,
+           so two shards must never hand out the same id to different
+           flows.  2^30 ids per shard is far beyond any replica's flow
+           table. *)
+        Enclave.set_flow_id_offset r (Int64.mul (Int64.of_int i) (Int64.shift_left 1L 30));
+        Ok r
+      | Error e -> Error (Printf.sprintf "Shard.create: replica %d: %s" i e)
+    in
+    let rec build i acc =
+      if i = n then Ok (List.rev acc)
+      else
+        match mk_replica i with
+        | Error _ as e -> e
+        | Ok r -> build (i + 1) (r :: acc)
+    in
+    match build 0 [] with
+    | Error e -> Error e
+    | Ok replicas ->
+      let replicas = Array.of_list replicas in
+      let s_locks = Hashtbl.create 8 in
+      let s_delta = Hashtbl.create 8 in
+      let wire_errors = ref [] in
+      List.iter
+        (fun (name, klass) ->
+          match klass with
+          | Shardclass.Sharded -> ()
+          | Shardclass.Sharded_delta slots -> (
+            match Enclave.action_program replicas.(0) name with
+            | None -> wire_errors := name :: !wire_errors
+            | Some p ->
+              List.iter
+                (fun slot ->
+                  let field = p.P.scalar_slots.(slot).P.s_name in
+                  let base = Enclave.get_global replicas.(0) ~action:name field in
+                  Hashtbl.replace s_delta (name, field)
+                    (ref (Option.value base ~default:0L)))
+                slots)
+          | Shardclass.Serialized ->
+            let m = Mutex.create () in
+            Hashtbl.replace s_locks name m;
+            let shared =
+              match Enclave.action_state replicas.(0) name with
+              | Some st -> st
+              | None -> State.create () (* unreachable: action just restored *)
+            in
+            Array.iteri
+              (fun i r ->
+                if i > 0 then
+                  if Result.is_error (Enclave.set_action_state r name shared) then
+                    wire_errors := name :: !wire_errors;
+                if Result.is_error (Enclave.set_action_lock r name (Some m)) then
+                  wire_errors := name :: !wire_errors)
+              replicas)
+        classes;
+      match !wire_errors with
+      | e :: _ -> Error (Printf.sprintf "Shard.create: failed to wire action %S" e)
+      | [] ->
+        let workers =
+          Array.map
+            (fun r ->
+              {
+                w_enclave = r;
+                w_ring = Spsc.create ~dummy:I_none ring_capacity;
+                w_processed = Atomic.make 0;
+                w_pushed = 0;
+                w_domain = None;
+                w_errors = Atomic.make 0;
+                w_lock = Mutex.create ();
+                w_done = Condition.create ();
+                w_feeder_waiting = Atomic.make false;
+              })
+            replicas
+        in
+        let t =
+          { s_workers = workers; s_parallel = parallel; s_batch = batch; s_classes = classes;
+            s_locks; s_delta; s_stopped = false }
+        in
+        if parallel then
+          Array.iter
+            (fun w -> w.w_domain <- Some (Domain.spawn (fun () -> worker_loop t w batch)))
+            workers;
+        Ok t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Feeding, draining, streams *)
+
+let check_live t name = if t.s_stopped then invalid_arg (name ^ ": shard runtime stopped")
+
+let enqueue w item =
+  Spsc.push w.w_ring item;
+  w.w_pushed <- w.w_pushed + 1
+
+let drain_worker w =
+  if Atomic.get w.w_processed < w.w_pushed then begin
+    let spins = ref 4096 in
+    while Atomic.get w.w_processed < w.w_pushed && !spins > 0 do
+      decr spins;
+      Domain.cpu_relax ()
+    done;
+    if Atomic.get w.w_processed < w.w_pushed then begin
+      Mutex.lock w.w_lock;
+      Atomic.set w.w_feeder_waiting true;
+      while Atomic.get w.w_processed < w.w_pushed do
+        Condition.wait w.w_done w.w_lock
+      done;
+      Atomic.set w.w_feeder_waiting false;
+      Mutex.unlock w.w_lock
+    end
+  end
+
+let drain t = if t.s_parallel then Array.iter drain_worker t.s_workers
+
+(* Record the new base of a delta accumulator at the event's sequential
+   position: a [set_global] overwrite discards deltas accumulated before
+   it on every shard (each shard applies the overwrite in-band), so the
+   merge base moves with it. *)
+let note_ctl_base t = function
+  | Ev_set_global { action; name; value } -> (
+    match Hashtbl.find_opt t.s_delta (action, name) with
+    | Some base -> base := value
+    | None -> ())
+  | Ev_set_global_array _ | Ev_packet _ -> ()
+
+let dispatch t res idx ev =
+  match ev with
+  | Ev_packet (now, pkt) ->
+    let w = t.s_workers.(route t pkt) in
+    let item = I_packet { pkt; now; idx; res } in
+    if t.s_parallel then enqueue w item else exec_item t w item
+  | Ev_set_global { action; name; value } ->
+    note_ctl_base t ev;
+    let item = I_set_global { action; name; value } in
+    Array.iter (fun w -> if t.s_parallel then enqueue w item else exec_item t w item) t.s_workers
+  | Ev_set_global_array { action; name; values } ->
+    note_ctl_base t ev;
+    let item = I_set_global_array { action; name; values } in
+    Array.iter (fun w -> if t.s_parallel then enqueue w item else exec_item t w item) t.s_workers
+
+let process_stream t events =
+  check_live t "Shard.process_stream";
+  let res = Array.make (Array.length events) None in
+  Array.iteri (fun idx ev -> dispatch t res idx ev) events;
+  drain t;
+  res
+
+let feed t ~now pkt =
+  check_live t "Shard.feed";
+  let w = t.s_workers.(route t pkt) in
+  let item = I_fire { pkt; now } in
+  if t.s_parallel then enqueue w item else exec_item t w item
+
+(* ------------------------------------------------------------------ *)
+(* Merged observation *)
+
+let counters t =
+  drain t;
+  let acc =
+    {
+      Enclave.packets = 0;
+      dropped = 0;
+      invocations = 0;
+      native_invocations = 0;
+      compiled_invocations = 0;
+      faults = 0;
+      interp_steps = 0;
+      quarantined = 0;
+      cache_hits = 0;
+      cache_misses = 0;
+      cache_evictions = 0;
+    }
+  in
+  Array.iter
+    (fun w ->
+      let c = Enclave.counters w.w_enclave in
+      acc.Enclave.packets <- acc.Enclave.packets + c.Enclave.packets;
+      acc.Enclave.dropped <- acc.Enclave.dropped + c.Enclave.dropped;
+      acc.Enclave.invocations <- acc.Enclave.invocations + c.Enclave.invocations;
+      acc.Enclave.native_invocations <-
+        acc.Enclave.native_invocations + c.Enclave.native_invocations;
+      acc.Enclave.compiled_invocations <-
+        acc.Enclave.compiled_invocations + c.Enclave.compiled_invocations;
+      acc.Enclave.faults <- acc.Enclave.faults + c.Enclave.faults;
+      acc.Enclave.interp_steps <- acc.Enclave.interp_steps + c.Enclave.interp_steps;
+      acc.Enclave.quarantined <- acc.Enclave.quarantined + c.Enclave.quarantined;
+      acc.Enclave.cache_hits <- acc.Enclave.cache_hits + c.Enclave.cache_hits;
+      acc.Enclave.cache_misses <- acc.Enclave.cache_misses + c.Enclave.cache_misses;
+      acc.Enclave.cache_evictions <- acc.Enclave.cache_evictions + c.Enclave.cache_evictions)
+    t.s_workers;
+  acc
+
+let get_global t ~action name =
+  drain t;
+  match Hashtbl.find_opt t.s_delta (action, name) with
+  | Some base ->
+    let b = !base in
+    let sum =
+      Array.fold_left
+        (fun acc w ->
+          match Enclave.get_global w.w_enclave ~action name with
+          | Some v -> Int64.add acc (Int64.sub v b)
+          | None -> acc)
+        0L t.s_workers
+    in
+    Some (Int64.add b sum)
+  | None ->
+    (* Sharded read-only globals are identical on every replica;
+       serialized globals live in the one shared store. *)
+    Enclave.get_global t.s_workers.(0).w_enclave ~action name
+
+let get_global_array t ~action name =
+  drain t;
+  Enclave.get_global_array t.s_workers.(0).w_enclave ~action name
+
+let backpressure_waits t =
+  Array.fold_left (fun acc w -> acc + Spsc.backpressure_waits w.w_ring) 0 t.s_workers
+
+let worker_errors t =
+  Array.fold_left (fun acc w -> acc + Atomic.get w.w_errors) 0 t.s_workers
+
+let stop t =
+  if not t.s_stopped then begin
+    t.s_stopped <- true;
+    if t.s_parallel then begin
+      Array.iter (fun w -> enqueue w I_stop) t.s_workers;
+      Array.iter
+        (fun w ->
+          match w.w_domain with
+          | Some d ->
+            Domain.join d;
+            w.w_domain <- None
+          | None -> ())
+        t.s_workers
+    end
+  end

@@ -1,0 +1,130 @@
+(* SPSC ring on a power-of-two slot array with monotonically increasing
+   head/tail counters (classic Lamport queue).  The producer owns
+   [tail], the consumer owns [head]; each side reads the other's counter
+   atomically, which — under the OCaml memory model — also publishes the
+   non-atomic slot writes that preceded the counter bump.
+
+   Parking protocol (both directions): the would-be sleeper takes the
+   lock, raises its [*_waiting] flag (an [Atomic] so the flag write and
+   the counter read on the other side are totally ordered), re-checks
+   the counters, and only then waits.  The wake side bumps its counter
+   first and reads the flag second; sequential consistency of atomics
+   makes "sleeper misses the counter AND waker misses the flag"
+   impossible, and the broadcast itself happens under the lock, so no
+   wakeup is lost.  The fast path costs no lock at all. *)
+
+type 'a t = {
+  slots : 'a array;
+  mask : int;
+  dummy : 'a;
+  head : int Atomic.t;  (* next slot to pop *)
+  tail : int Atomic.t;  (* next slot to push *)
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  cons_waiting : bool Atomic.t;
+  prod_waiting : bool Atomic.t;
+  mutable bp_waits : int;  (* producer-side, read racily for stats *)
+}
+
+let create ~dummy capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be positive";
+  let cap = ref 2 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    slots = Array.make !cap dummy;
+    mask = !cap - 1;
+    dummy;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    cons_waiting = Atomic.make false;
+    prod_waiting = Atomic.make false;
+    bp_waits = 0;
+  }
+
+let capacity t = t.mask + 1
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let spin_budget = 256
+
+let wake t flag cond =
+  if Atomic.get flag then begin
+    Mutex.lock t.lock;
+    Condition.broadcast cond;
+    Mutex.unlock t.lock
+  end
+
+let try_push t v =
+  let tl = Atomic.get t.tail in
+  if tl - Atomic.get t.head > t.mask then false
+  else begin
+    t.slots.(tl land t.mask) <- v;
+    Atomic.set t.tail (tl + 1);
+    wake t t.cons_waiting t.not_empty;
+    true
+  end
+
+let push t v =
+  let rec attempt spins =
+    if try_push t v then ()
+    else if spins > 0 then begin
+      Domain.cpu_relax ();
+      attempt (spins - 1)
+    end
+    else begin
+      Mutex.lock t.lock;
+      Atomic.set t.prod_waiting true;
+      t.bp_waits <- t.bp_waits + 1;
+      while Atomic.get t.tail - Atomic.get t.head > t.mask do
+        Condition.wait t.not_full t.lock
+      done;
+      Atomic.set t.prod_waiting false;
+      Mutex.unlock t.lock;
+      attempt spin_budget
+    end
+  in
+  attempt spin_budget
+
+let pop_batch t buf =
+  let hd = Atomic.get t.head in
+  let available = Atomic.get t.tail - hd in
+  let n = min available (Array.length buf) in
+  if n > 0 then begin
+    for i = 0 to n - 1 do
+      let idx = (hd + i) land t.mask in
+      buf.(i) <- t.slots.(idx);
+      t.slots.(idx) <- t.dummy
+    done;
+    Atomic.set t.head (hd + n);
+    wake t t.prod_waiting t.not_full
+  end;
+  n
+
+let pop_batch_wait t buf =
+  if Array.length buf = 0 then invalid_arg "Spsc.pop_batch_wait: empty buffer";
+  let rec attempt spins =
+    let n = pop_batch t buf in
+    if n > 0 then n
+    else if spins > 0 then begin
+      Domain.cpu_relax ();
+      attempt (spins - 1)
+    end
+    else begin
+      Mutex.lock t.lock;
+      Atomic.set t.cons_waiting true;
+      while Atomic.get t.tail = Atomic.get t.head do
+        Condition.wait t.not_empty t.lock
+      done;
+      Atomic.set t.cons_waiting false;
+      Mutex.unlock t.lock;
+      attempt spin_budget
+    end
+  in
+  attempt spin_budget
+
+let backpressure_waits t = t.bp_waits

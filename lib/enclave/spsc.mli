@@ -1,0 +1,43 @@
+(** Fixed-capacity single-producer / single-consumer ring buffer.
+
+    The conduit between the sharding front-end's control thread and one
+    worker domain: the producer publishes slots with one atomic store,
+    the consumer drains in batches with one atomic load per batch, and
+    both fall back from a bounded spin to parking on a condition
+    variable — so an idle worker costs nothing and a full ring exerts
+    blocking backpressure instead of dropping.
+
+    Exactly one domain may push and exactly one may pop; the two sides
+    need not be distinct domains (a single-threaded user sees a plain
+    bounded FIFO). *)
+
+type 'a t
+
+val create : dummy:'a -> int -> 'a t
+(** [create ~dummy capacity] — capacity is rounded up to a power of two
+    (at least 2).  [dummy] back-fills consumed slots so the ring never
+    retains references to drained items.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Racy snapshot of the number of buffered items. *)
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when full; never blocks. *)
+
+val push : 'a t -> 'a -> unit
+(** Blocks while full: a bounded spin, then parks until the consumer
+    makes room (counted in {!backpressure_waits}). *)
+
+val pop_batch : 'a t -> 'a array -> int
+(** Drain up to [Array.length buf] items into [buf.(0 ..)]; returns how
+    many (0 when empty); never blocks. *)
+
+val pop_batch_wait : 'a t -> 'a array -> int
+(** Like {!pop_batch} but blocks (spin, then park) until at least one
+    item is available.  Requires a non-empty buffer array. *)
+
+val backpressure_waits : 'a t -> int
+(** How many times the producer had to park on a full ring. *)
