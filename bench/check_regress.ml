@@ -1,0 +1,117 @@
+(* CI perf-regression gate.
+
+   Usage:
+     dune exec bench/check_regress.exe -- --current BENCH_micro.json
+         compare a bench --json output against bench/baseline.json;
+         exit 1 on any regression (timing band, steps mismatch, or
+         missing row), 0 otherwise.
+
+     dune exec bench/check_regress.exe -- --update
+         refresh the baseline in one command: run the bench's measured
+         sections (quick, --json) and rewrite bench/baseline.json from
+         the result, preserving the committed tolerance policy.
+
+   Tolerances live in the baseline file, not here: the policy is
+   reviewed with the numbers it judges.  Sections marked core_sensitive
+   are skipped loudly when this machine has fewer cores than the one
+   that recorded the baseline. *)
+
+module Json = Eden_telemetry.Json
+module Regress = Eden_telemetry.Regress
+
+let default_baseline = "bench/baseline.json"
+let measured_sections = [ "micro"; "analysis"; "resilience"; "parallel"; "telemetry" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("check_regress: " ^ msg); exit 2) fmt
+
+let load_json path =
+  match Json.parse (read_file path) with
+  | Ok j -> j
+  | Error msg -> fail "%s: %s" path msg
+  | exception Sys_error msg -> fail "%s" msg
+
+let load_baseline path =
+  match Regress.parse_baseline (load_json path) with
+  | Ok b -> b
+  | Error msg -> fail "%s: %s" path msg
+
+let load_rows path =
+  match Regress.parse_rows (load_json path) with
+  | Ok rows -> rows
+  | Error msg -> fail "%s: %s" path msg
+
+(* Run the bench binary sitting next to this executable.  Calling the
+   sibling directly (not through `dune exec`) keeps --update usable from
+   inside a dune run without deadlocking on the build lock. *)
+let run_bench ~json_out =
+  let dir = Filename.dirname Sys.executable_name in
+  let bench = Filename.concat dir "main.exe" in
+  if not (Sys.file_exists bench) then
+    fail "%s not found (build it first: dune build bench)" bench;
+  let cmd =
+    Filename.quote_command bench (measured_sections @ [ "quick"; "--json"; json_out ])
+  in
+  print_endline ("running: " ^ cmd);
+  match Sys.command cmd with 0 -> () | n -> fail "bench run failed with exit code %d" n
+
+let update ~baseline_path =
+  let prev =
+    if Sys.file_exists baseline_path then Some (load_baseline baseline_path) else None
+  in
+  let tmp = Filename.temp_file "bench_rows" ".json" in
+  run_bench ~json_out:tmp;
+  let rows = load_rows tmp in
+  Sys.remove tmp;
+  if rows = [] then fail "bench produced no rows";
+  let cores = Domain.recommended_domain_count () in
+  let b = Regress.baseline_of_rows ~prev ~cores rows in
+  let oc = open_out baseline_path in
+  output_string oc (Json.to_string_pretty (Regress.baseline_to_json b));
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s: %d rows, cores=%d\n" baseline_path (List.length b.Regress.b_rows)
+    cores
+
+let check ~baseline_path ~current_path =
+  let b = load_baseline baseline_path in
+  let rows = load_rows current_path in
+  let report = Regress.compare b rows ~cores:(Domain.recommended_domain_count ()) in
+  print_string (Regress.render report);
+  if report.Regress.regressions > 0 then exit 1
+
+let usage () =
+  prerr_endline
+    "usage: check_regress [--baseline FILE] (--current BENCH.json | --update)";
+  exit 2
+
+let () =
+  let baseline = ref default_baseline in
+  let current = ref None in
+  let do_update = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: f :: rest ->
+      baseline := f;
+      parse rest
+    | "--current" :: f :: rest ->
+      current := Some f;
+      parse rest
+    | "--update" :: rest ->
+      do_update := true;
+      parse rest
+    | a :: _ ->
+      prerr_endline ("check_regress: unknown argument " ^ a);
+      usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match (!do_update, !current) with
+  | true, None -> update ~baseline_path:!baseline
+  | false, Some cur -> check ~baseline_path:!baseline ~current_path:cur
+  | true, Some _ | false, None -> usage ()

@@ -335,6 +335,116 @@ let chaos_cmd =
     Term.(ret (const run $ list $ seed $ scenario))
 
 (* ------------------------------------------------------------------ *)
+(* stats: run a synthetic workload and scrape the telemetry registry *)
+
+let stats_cmd =
+  let module Tel = Eden_telemetry in
+  let module Enclave = Eden_enclave.Enclave in
+  let module Shard = Eden_enclave.Shard in
+  let module Packet = Eden_base.Packet in
+  let module Addr = Eden_base.Addr in
+  let packets =
+    Arg.(value & opt int 10_000
+         & info [ "p"; "packets" ] ~doc:"Synthetic data packets to push." ~docv:"N")
+  in
+  let flows =
+    Arg.(value & opt int 32
+         & info [ "flows" ] ~doc:"Distinct five-tuples the packets cycle over." ~docv:"F")
+  in
+  let shards =
+    Arg.(value & opt int 0
+         & info [ "shards" ]
+             ~doc:"Run the sharded data path with $(docv) worker domains (0: the plain \
+                   single-enclave path)."
+             ~docv:"K")
+  in
+  let format =
+    let formats = [ ("human", `Human); ("prom", `Prom); ("json", `Json) ] in
+    Arg.(value & opt (enum formats) `Human
+         & info [ "format" ] ~doc:"Output format: human, prom or json." ~docv:"FMT")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Shorthand for --format=json.")
+  in
+  let trace_every =
+    Arg.(value & opt int 0
+         & info [ "trace" ]
+             ~doc:"Attach a flight recorder sampling 1 in $(docv) packets and dump it \
+                   after the metrics (0: off)."
+             ~docv:"EVERY")
+  in
+  let seed =
+    Arg.(value & opt int64 7L & info [ "seed" ] ~doc:"Workload seed." ~docv:"SEED")
+  in
+  let mk_packet ~flows ~seq =
+    let flow =
+      Addr.five_tuple
+        ~src:(Addr.endpoint 1 (1000 + (seq mod flows)))
+        ~dst:(Addr.endpoint 2 80) ~proto:Addr.Tcp
+    in
+    Packet.make ~id:(Int64.of_int seq) ~flow ~kind:Packet.Data ~payload:1000 ()
+  in
+  let render fmt samples =
+    match fmt with
+    | `Human -> print_string (Tel.Export.to_table samples)
+    | `Prom -> print_string (Tel.Export.to_prometheus samples)
+    | `Json -> print_endline (Tel.Export.to_json_string samples)
+  in
+  let run packets flows shards fmt json_flag trace_every seed =
+    let fmt = if json_flag then `Json else fmt in
+    if packets < 1 then `Error (false, "--packets must be >= 1")
+    else if flows < 1 then `Error (false, "--flows must be >= 1")
+    else begin
+      let e = Enclave.create ~host:1 ~seed () in
+      match Eden_functions.Pias.install ~variant:`Compiled e ~thresholds:[| 10_240L; 1_048_576L |] with
+      | Error msg -> `Error (false, msg)
+      | Ok () ->
+        if shards > 0 then begin
+          match Shard.create ~shards e with
+          | Error msg -> `Error (false, msg)
+          | Ok sh ->
+            if trace_every > 0 then Shard.attach_traces sh ~every:trace_every ();
+            for i = 1 to packets do
+              Shard.feed sh ~now:(Time.us i) (mk_packet ~flows ~seq:i)
+            done;
+            Shard.drain sh;
+            let samples = Shard.scrape sh in
+            render fmt samples;
+            if trace_every > 0 then
+              for w = 0 to Shard.shards sh - 1 do
+                match Shard.worker_trace sh w with
+                | Some tr ->
+                  Format.printf "@.-- flight recorder (shard %d) --@.%a@." w Tel.Trace.pp_dump tr
+                | None -> ()
+              done;
+            Shard.stop sh;
+            `Ok ()
+        end
+        else begin
+          Enclave.set_timing e true;
+          if trace_every > 0 then
+            Enclave.set_trace e
+              (Some (Tel.Trace.create ~seed ~every:trace_every ~capacity:256 ()));
+          for i = 1 to packets do
+            ignore (Enclave.process e ~now:(Time.us i) (mk_packet ~flows ~seq:i))
+          done;
+          render fmt (Enclave.scrape e);
+          (match Enclave.trace e with
+          | Some tr -> Format.printf "@.-- flight recorder --@.%a@." Tel.Trace.pp_dump tr
+          | None -> ());
+          `Ok ()
+        end
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Push a synthetic PIAS workload through an enclave (optionally sharded), then \
+          print the telemetry registry as a table, Prometheus exposition or JSON, with \
+          an optional flight-recorder dump")
+    Term.(ret (const run $ packets $ flows $ shards $ format $ json_flag $ trace_every $ seed))
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "Eden: end-host network functions (SIGCOMM 2015), reproduced in OCaml" in
@@ -353,6 +463,7 @@ let main_cmd =
       fig11_cmd;
       fig12_cmd;
       chaos_cmd;
+      stats_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

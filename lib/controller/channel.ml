@@ -2,6 +2,7 @@ module Enclave = Eden_enclave.Enclave
 module Time = Eden_base.Time
 module Rng = Eden_base.Rng
 module Pattern = Eden_base.Class_name.Pattern
+module Tel = Eden_telemetry
 
 type op =
   | Install_action of Enclave.install_spec
@@ -78,9 +79,18 @@ type t = {
   mutable ch_ops_sent : int;
   mutable ch_faults_injected : int;
   mutable ch_restarts_injected : int;
+  (* Telemetry cells, synced from the fields above at scrape time so the
+     protocol paths stay untouched. *)
+  ch_tel : Tel.Registry.t;
+  chm_ops : Tel.Counter.t;
+  chm_faults : Tel.Counter.t;
+  chm_restarts : Tel.Counter.t;
+  chg_delayed : Tel.Gauge.t;
+  chg_acked : Tel.Gauge.t;
 }
 
 let create ?(seed = 0xFA17L) enclave =
+  let tel = Tel.Registry.create () in
   {
     ch_enclave = enclave;
     ch_rng = Rng.create (Int64.add seed (Int64.of_int (Enclave.host enclave)));
@@ -95,6 +105,19 @@ let create ?(seed = 0xFA17L) enclave =
     ch_ops_sent = 0;
     ch_faults_injected = 0;
     ch_restarts_injected = 0;
+    ch_tel = tel;
+    chm_ops = Tel.Registry.counter tel ~help:"Control ops sent" "eden_channel_ops_sent_total";
+    chm_faults =
+      Tel.Registry.counter tel ~help:"Injected channel faults"
+        "eden_channel_faults_injected_total";
+    chm_restarts =
+      Tel.Registry.counter tel ~help:"Injected enclave crash-restarts"
+        "eden_channel_restarts_injected_total";
+    chg_delayed =
+      Tel.Registry.gauge tel ~help:"Ops held back by Delay faults" "eden_channel_delayed";
+    chg_acked =
+      Tel.Registry.gauge tel ~help:"Highest generation acked by this enclave"
+        "eden_channel_acked_generation";
   }
 
 let enclave t = t.ch_enclave
@@ -109,6 +132,21 @@ let ops_sent t = t.ch_ops_sent
 let faults_injected t = t.ch_faults_injected
 let restarts_injected t = t.ch_restarts_injected
 let delayed_count t = List.length t.ch_delayed
+
+let sync_telemetry t =
+  Tel.Counter.set t.chm_ops t.ch_ops_sent;
+  Tel.Counter.set t.chm_faults t.ch_faults_injected;
+  Tel.Counter.set t.chm_restarts t.ch_restarts_injected;
+  Tel.Gauge.set_int t.chg_delayed (List.length t.ch_delayed);
+  Tel.Gauge.set_int t.chg_acked t.ch_acked_generation
+
+let telemetry t =
+  sync_telemetry t;
+  t.ch_tel
+
+let scrape t =
+  sync_telemetry t;
+  Tel.Registry.scrape t.ch_tel
 
 let script t faults = t.ch_script <- faults
 

@@ -136,3 +136,15 @@ val clear_divergent : t -> unit
 val ops_sent : t -> int
 val faults_injected : t -> int
 val restarts_injected : t -> int
+
+(** {2 Telemetry}
+
+    The channel keeps its protocol counters in plain fields (the paths
+    above stay allocation-free) and syncs them into a per-channel
+    registry ([eden_channel_*]: ops sent, faults and restarts injected,
+    delayed-op backlog, acked-generation watermark) only when scraped. *)
+
+val telemetry : t -> Eden_telemetry.Registry.t
+(** The synced registry (cells refreshed on every call). *)
+
+val scrape : t -> Eden_telemetry.Registry.sample list

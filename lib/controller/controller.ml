@@ -4,6 +4,7 @@ module Stage = Eden_stage.Stage
 module Time = Eden_base.Time
 module Rng = Eden_base.Rng
 module Pattern = Eden_base.Class_name.Pattern
+module Tel = Eden_telemetry
 
 type retry_policy = {
   rp_max_attempts : int;
@@ -31,11 +32,26 @@ type t = {
   jitter : Rng.t;
   mutable next_op : int64;
   stats : retry_stats;
+  (* Retry/generation cells are synced from [stats] and the desired
+     store at scrape time; reconcile cells are bumped live (they have no
+     other home). *)
+  tel : Tel.Registry.t;
+  cm_push_ops : Tel.Counter.t;
+  cm_attempts : Tel.Counter.t;
+  cm_retries : Tel.Counter.t;
+  cm_giveups : Tel.Counter.t;
+  cg_backoff_ns : Tel.Gauge.t;
+  cm_reconcile_rounds : Tel.Counter.t;
+  cm_reconcile_replayed : Tel.Counter.t;
+  cg_generation : Tel.Gauge.t;
+  cg_generation_lag : Tel.Gauge.t;
+  cg_divergent : Tel.Gauge.t;
 }
 
 let create ?topology ?(retry = default_retry) ?(seed = 0xC0DEL) () =
   let topo = match topology with Some t -> t | None -> Topology.create () in
   if retry.rp_max_attempts < 1 then invalid_arg "Controller.create: max_attempts must be >= 1";
+  let tel = Tel.Registry.create () in
   {
     topo;
     chans = [];
@@ -45,6 +61,31 @@ let create ?topology ?(retry = default_retry) ?(seed = 0xC0DEL) () =
     jitter = Rng.create seed;
     next_op = 1L;
     stats = { rs_ops = 0; rs_attempts = 0; rs_retries = 0; rs_giveups = 0; rs_backoff = Time.zero };
+    tel;
+    cm_push_ops =
+      Tel.Registry.counter tel ~help:"Logical push ops" "eden_controller_push_ops_total";
+    cm_attempts =
+      Tel.Registry.counter tel ~help:"Channel sends incl. retries"
+        "eden_controller_send_attempts_total";
+    cm_retries = Tel.Registry.counter tel ~help:"Retried sends" "eden_controller_retries_total";
+    cm_giveups =
+      Tel.Registry.counter tel ~help:"Sends that exhausted the retry budget"
+        "eden_controller_giveups_total";
+    cg_backoff_ns =
+      Tel.Registry.gauge tel ~help:"Total simulated backoff (ns)" "eden_controller_backoff_ns";
+    cm_reconcile_rounds =
+      Tel.Registry.counter tel ~help:"Anti-entropy rounds run"
+        "eden_controller_reconcile_rounds_total";
+    cm_reconcile_replayed =
+      Tel.Registry.counter tel ~help:"Ops replayed by reconciliation"
+        "eden_controller_reconcile_ops_replayed_total";
+    cg_generation =
+      Tel.Registry.gauge tel ~help:"Desired-state generation" "eden_controller_generation";
+    cg_generation_lag =
+      Tel.Registry.gauge tel ~help:"Desired generation minus lowest acked watermark"
+        "eden_controller_generation_lag";
+    cg_divergent =
+      Tel.Registry.gauge tel ~help:"Enclaves marked divergent" "eden_controller_divergent_hosts";
   }
 
 let topology t = t.topo
@@ -479,6 +520,7 @@ let reconcile_outcome_to_string = function
    match a half-installed action: the rule that would route to it cannot
    exist before the install has fully succeeded). *)
 let reconcile_enclave t ch =
+  Tel.Counter.inc t.cm_reconcile_rounds;
   let d = t.desired in
   let gen = Desired.generation d in
   match Channel.pull_state ch with
@@ -568,6 +610,7 @@ let reconcile_enclave t ch =
           let drift = diff_against_desired t sn ~acked in
           if drift_in_sync drift then begin
             Channel.clear_divergent ch;
+            Tel.Counter.add t.cm_reconcile_replayed !ops;
             Repaired !ops
           end
           else Repair_failed (Format.asprintf "residual drift: %a" pp_drift drift))
@@ -583,6 +626,33 @@ let converged t =
       | Error _ -> false
       | Ok (sn, acked) -> drift_in_sync (diff_against_desired t sn ~acked))
     (channels t)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry *)
+
+let sync_telemetry t =
+  Tel.Counter.set t.cm_push_ops t.stats.rs_ops;
+  Tel.Counter.set t.cm_attempts t.stats.rs_attempts;
+  Tel.Counter.set t.cm_retries t.stats.rs_retries;
+  Tel.Counter.set t.cm_giveups t.stats.rs_giveups;
+  Tel.Gauge.set t.cg_backoff_ns (Int64.to_float (Time.to_ns t.stats.rs_backoff));
+  let gen = Desired.generation t.desired in
+  Tel.Gauge.set_int t.cg_generation gen;
+  let min_acked =
+    List.fold_left (fun acc ch -> min acc (Channel.acked_generation ch)) max_int t.chans
+  in
+  let lag = if t.chans = [] then 0 else max 0 (gen - min_acked) in
+  Tel.Gauge.set_int t.cg_generation_lag lag;
+  Tel.Gauge.set_int t.cg_divergent (List.length (divergent_hosts t))
+
+let telemetry t =
+  sync_telemetry t;
+  t.tel
+
+let scrape t =
+  sync_telemetry t;
+  Tel.Registry.merge
+    (Tel.Registry.scrape t.tel :: List.map Channel.scrape (channels t))
 
 (* ------------------------------------------------------------------ *)
 (* Monitoring *)

@@ -143,6 +143,20 @@ val converged : t -> bool
 (** Every reachable-and-registered enclave's configuration matches the
     desired store (false if any enclave is unreachable). *)
 
+(** {2 Telemetry}
+
+    The controller keeps {!retry_stats} in plain fields and syncs them
+    into a registry ([eden_controller_*]: push ops, attempts, retries,
+    giveups, backoff, generation and generation lag, divergent-host
+    count) at scrape time; reconcile-round and replayed-op counters are
+    bumped live.  [scrape] merges the controller's registry with every
+    channel's ([eden_channel_*]) into one fleet-level sample list. *)
+
+val telemetry : t -> Eden_telemetry.Registry.t
+(** The controller's own registry, synced on every call. *)
+
+val scrape : t -> Eden_telemetry.Registry.sample list
+
 (** {2 Stage programming} *)
 
 val program_stage :

@@ -10,6 +10,7 @@ module Verifier = Eden_bytecode.Verifier
 module Opcode = Eden_bytecode.Opcode
 module Stage = Eden_stage.Stage
 module Builtin = Eden_stage.Builtin
+module Tel = Eden_telemetry
 
 type placement = Os | Nic
 
@@ -452,10 +453,28 @@ type t = {
   mutable e_next_table : int;
   mutable e_caches : (Class_name.t list, cached) Hashtbl.t array;
       (* per-table match-action cache, indexed by (dense) table id *)
-  e_counters : counters;
-  e_faults : fault_record option array;  (* ring buffer, newest at e_fault_next-1 *)
-  mutable e_fault_next : int;
-  mutable e_fault_count : int;
+  (* Telemetry: the registry is the directory, the cells below are the
+     hot-path storage (one field read + int bump per event, no lookup). *)
+  e_tel : Tel.Registry.t;
+  m_packets : Tel.Counter.t;
+  m_dropped : Tel.Counter.t;
+  m_invocations : Tel.Counter.t;
+  m_native_invocations : Tel.Counter.t;
+  m_compiled_invocations : Tel.Counter.t;
+  m_faults : Tel.Counter.t;
+  m_interp_steps : Tel.Counter.t;
+  m_quarantined : Tel.Counter.t;
+  m_cache_hits : Tel.Counter.t;
+  m_cache_misses : Tel.Counter.t;
+  m_cache_evictions : Tel.Counter.t;
+  m_restarts : Tel.Counter.t;
+  h_process : Tel.Histogram.t;  (* Eden-added ns per processed packet *)
+  h_exec : Tel.Histogram.t;  (* engine execution ns per invocation *)
+  h_marshal : Tel.Histogram.t;  (* copy-in/copy-out ns per invocation *)
+  mutable e_timing : bool;
+  mutable e_trace : Tel.Trace.t option;
+  mutable e_trace_armed : bool;  (* current packet is sampled *)
+  e_faults : fault_record Tel.Ring.t;  (* newest-first fault log *)
   e_out : outputs;  (* reused across process_one calls *)
   mutable e_cost : Cost.Accum.t;
   e_cost_model : Cost.model;
@@ -473,6 +492,9 @@ let flow_id_base = Int64.shift_left 1L 40
 let create ?(placement = Os) ?(seed = 0xEDE1L) ?(flow_cache_capacity = 4096) ~host () =
   if flow_cache_capacity < 1 then
     invalid_arg "Enclave.create: flow_cache_capacity must be positive";
+  let tel = Tel.Registry.create () in
+  let counter = Tel.Registry.counter tel in
+  let histogram = Tel.Registry.histogram tel in
   let t =
     {
       e_host = host;
@@ -488,23 +510,38 @@ let create ?(placement = Os) ?(seed = 0xEDE1L) ?(flow_cache_capacity = 4096) ~ho
       e_tables = Hashtbl.create 4;
       e_next_table = 1;
       e_caches = [| Hashtbl.create 64 |];
-      e_counters =
-        {
-          packets = 0;
-          dropped = 0;
-          invocations = 0;
-          native_invocations = 0;
-          compiled_invocations = 0;
-          faults = 0;
-          interp_steps = 0;
-          quarantined = 0;
-          cache_hits = 0;
-          cache_misses = 0;
-          cache_evictions = 0;
-        };
-      e_faults = Array.make fault_ring_capacity None;
-      e_fault_next = 0;
-      e_fault_count = 0;
+      e_tel = tel;
+      m_packets = counter ~help:"Packets processed" "eden_enclave_packets_total";
+      m_dropped = counter ~help:"Packets dropped by action decision" "eden_enclave_dropped_total";
+      m_invocations = counter ~help:"Action invocations (any engine)" "eden_enclave_invocations_total";
+      m_native_invocations =
+        counter ~help:"Native action invocations" "eden_enclave_native_invocations_total";
+      m_compiled_invocations =
+        counter ~help:"Compiled action invocations" "eden_enclave_compiled_invocations_total";
+      m_faults = counter ~help:"Faulting invocations (fail-open)" "eden_enclave_faults_total";
+      m_interp_steps =
+        counter ~help:"Bytecode steps retired by either engine" "eden_enclave_interp_steps_total";
+      m_quarantined =
+        counter ~help:"Packets that fell through a quarantined action"
+          "eden_enclave_quarantined_total";
+      m_cache_hits =
+        counter ~help:"Match-action cache hits" "eden_enclave_flow_cache_hits_total";
+      m_cache_misses =
+        counter ~help:"Match-action cache misses (full lookup)"
+          "eden_enclave_flow_cache_misses_total";
+      m_cache_evictions =
+        counter ~help:"Match-action cache entries evicted on reset"
+          "eden_enclave_flow_cache_evictions_total";
+      m_restarts = counter ~help:"Enclave restarts" "eden_enclave_restarts_total";
+      h_process =
+        histogram ~help:"Eden-added ns per processed packet" "eden_enclave_process_ns";
+      h_exec = histogram ~help:"Engine execution ns per invocation" "eden_enclave_exec_ns";
+      h_marshal =
+        histogram ~help:"Marshalling ns per invocation" "eden_enclave_marshal_ns";
+      e_timing = true;
+      e_trace = None;
+      e_trace_armed = false;
+      e_faults = Tel.Ring.create fault_ring_capacity;
       e_out =
         {
           o_priority = 0;
@@ -543,14 +580,32 @@ let seed t = t.e_seed
 let flow_cache_capacity t = t.e_cache_cap
 let flow_stage t = t.e_flow_stage
 let set_enforce t b = t.e_enforce <- b
-let counters t = t.e_counters
 
-let faults t =
-  List.init t.e_fault_count (fun i ->
-      let idx =
-        (t.e_fault_next - 1 - i + (2 * fault_ring_capacity)) mod fault_ring_capacity
-      in
-      match t.e_faults.(idx) with Some r -> r | None -> assert false)
+(* Deprecated in favour of {!telemetry} / {!scrape}: the registry cells
+   are authoritative and this record is a snapshot built from them.
+   Kept so existing callers (tests, the shard merge) keep working. *)
+let counters t =
+  {
+    packets = Tel.Counter.get t.m_packets;
+    dropped = Tel.Counter.get t.m_dropped;
+    invocations = Tel.Counter.get t.m_invocations;
+    native_invocations = Tel.Counter.get t.m_native_invocations;
+    compiled_invocations = Tel.Counter.get t.m_compiled_invocations;
+    faults = Tel.Counter.get t.m_faults;
+    interp_steps = Tel.Counter.get t.m_interp_steps;
+    quarantined = Tel.Counter.get t.m_quarantined;
+    cache_hits = Tel.Counter.get t.m_cache_hits;
+    cache_misses = Tel.Counter.get t.m_cache_misses;
+    cache_evictions = Tel.Counter.get t.m_cache_evictions;
+  }
+
+let faults t = Tel.Ring.to_list t.e_faults
+let telemetry t = t.e_tel
+let scrape t = Tel.Registry.scrape t.e_tel
+let set_timing t b = t.e_timing <- b
+let timing t = t.e_timing
+let set_trace t tr = t.e_trace <- tr
+let trace t = t.e_trace
 
 let cost t = t.e_cost
 let cost_model t = t.e_cost_model
@@ -884,21 +939,12 @@ let restart t =
   t.e_caches <- [| Hashtbl.create 64 |];
   Addr.Flow_table.reset t.e_flow_ids;
   t.e_next_flow_id <- flow_id_base;
-  let c = t.e_counters in
-  c.packets <- 0;
-  c.dropped <- 0;
-  c.invocations <- 0;
-  c.native_invocations <- 0;
-  c.compiled_invocations <- 0;
-  c.faults <- 0;
-  c.interp_steps <- 0;
-  c.quarantined <- 0;
-  c.cache_hits <- 0;
-  c.cache_misses <- 0;
-  c.cache_evictions <- 0;
-  Array.fill t.e_faults 0 fault_ring_capacity None;
-  t.e_fault_next <- 0;
-  t.e_fault_count <- 0;
+  Tel.Registry.reset t.e_tel;
+  (* Restart count survives the reboot (it identifies the incarnation). *)
+  Tel.Counter.set t.m_restarts t.e_restarts;
+  Tel.Ring.clear t.e_faults;
+  (match t.e_trace with Some tr -> Tel.Trace.clear tr | None -> ());
+  t.e_trace_armed <- false;
   t.e_cost <- Cost.Accum.create ();
   t.e_last_cost_ns <- 0.0
 
@@ -980,10 +1026,8 @@ let flow_msg_id t flow =
     id
 
 let record_fault t action fault now =
-  t.e_counters.faults <- t.e_counters.faults + 1;
-  t.e_faults.(t.e_fault_next) <- Some { fr_action = action; fr_fault = fault; fr_time = now };
-  t.e_fault_next <- (t.e_fault_next + 1) mod fault_ring_capacity;
-  if t.e_fault_count < fault_ring_capacity then t.e_fault_count <- t.e_fault_count + 1
+  Tel.Counter.inc t.m_faults;
+  Tel.Ring.push t.e_faults { fr_action = action; fr_fault = fault; fr_time = now }
 
 (* Copy-in per the plan; elided slots keep whatever the buffer holds
    (the program provably never reads them, and the plan never publishes
@@ -1036,14 +1080,24 @@ let run_interpreted t a p scratch plan pkt md msg_id out ~now =
   | None -> (
     marshal_in a plan pkt md msg_id ~now;
     Cost.Accum.add_marshal t.e_cost t.e_cost_model;
+    if t.e_timing then
+      Tel.Histogram.observe t.h_marshal (int_of_float t.e_cost_model.Cost.marshal_ns);
     match Interp.run ~scratch p ~env:plan.pl_env ~now ~rng:t.e_rng with
     | Error (fault, stats) ->
-      t.e_counters.interp_steps <- t.e_counters.interp_steps + stats.Interp.steps;
+      Tel.Counter.add t.m_interp_steps stats.Interp.steps;
       Cost.Accum.add_interp t.e_cost t.e_cost_model ~steps:stats.Interp.steps;
+      if t.e_timing then
+        Tel.Histogram.observe t.h_exec
+          (int_of_float
+             (float_of_int stats.Interp.steps *. t.e_cost_model.Cost.per_step_ns));
       record_fault t a.a_name fault now
     | Ok stats ->
-      t.e_counters.interp_steps <- t.e_counters.interp_steps + stats.Interp.steps;
+      Tel.Counter.add t.m_interp_steps stats.Interp.steps;
       Cost.Accum.add_interp t.e_cost t.e_cost_model ~steps:stats.Interp.steps;
+      if t.e_timing then
+        Tel.Histogram.observe t.h_exec
+          (int_of_float
+             (float_of_int stats.Interp.steps *. t.e_cost_model.Cost.per_step_ns));
       marshal_out a plan out msg_id ~now)
 
 let run_compiled t a c plan pkt md msg_id out ~now =
@@ -1053,22 +1107,32 @@ let run_compiled t a c plan pkt md msg_id out ~now =
   | None -> (
     marshal_in a plan pkt md msg_id ~now;
     Cost.Accum.add_marshal t.e_cost t.e_cost_model;
-    t.e_counters.compiled_invocations <- t.e_counters.compiled_invocations + 1;
+    if t.e_timing then
+      Tel.Histogram.observe t.h_marshal (int_of_float t.e_cost_model.Cost.marshal_ns);
+    Tel.Counter.inc t.m_compiled_invocations;
     match Eden_bytecode.Compiled.exec c ~env:plan.pl_env ~now ~rng:t.e_rng with
     | Some fault ->
       let steps = Eden_bytecode.Compiled.last_steps c in
-      t.e_counters.interp_steps <- t.e_counters.interp_steps + steps;
+      Tel.Counter.add t.m_interp_steps steps;
       Cost.Accum.add_compiled t.e_cost t.e_cost_model ~steps;
+      if t.e_timing then
+        Tel.Histogram.observe t.h_exec
+          (int_of_float (float_of_int steps *. t.e_cost_model.Cost.compiled_step_ns));
       record_fault t a.a_name fault now
     | None ->
       let steps = Eden_bytecode.Compiled.last_steps c in
-      t.e_counters.interp_steps <- t.e_counters.interp_steps + steps;
+      Tel.Counter.add t.m_interp_steps steps;
       Cost.Accum.add_compiled t.e_cost t.e_cost_model ~steps;
+      if t.e_timing then
+        Tel.Histogram.observe t.h_exec
+          (int_of_float (float_of_int steps *. t.e_cost_model.Cost.compiled_step_ns));
       marshal_out a plan out msg_id ~now)
 
 let run_native t a f pkt md msg_id out ~now =
-  t.e_counters.native_invocations <- t.e_counters.native_invocations + 1;
+  Tel.Counter.inc t.m_native_invocations;
   Cost.Accum.add_native t.e_cost t.e_cost_model;
+  if t.e_timing then
+    Tel.Histogram.observe t.h_exec (int_of_float t.e_cost_model.Cost.native_ns);
   let ctx =
     {
       Native_ctx.nc_packet = pkt;
@@ -1101,6 +1165,19 @@ let invoke_engine t a pkt md msg_id out ~now =
        raise exn);
     Mutex.unlock m
 
+(* When the current packet is sampled by the flight recorder, bracket the
+   engine with cost-accumulator reads to attribute the action stage. *)
+let invoke_traced t a pkt md msg_id out ~now =
+  if not t.e_trace_armed then invoke_engine t a pkt md msg_id out ~now
+  else begin
+    let before = Cost.Accum.overhead_total_ns t.e_cost in
+    invoke_engine t a pkt md msg_id out ~now;
+    match t.e_trace with
+    | Some tr ->
+      Tel.Trace.set_action tr a.a_name (Cost.Accum.overhead_total_ns t.e_cost -. before)
+    | None -> ()
+  end
+
 (* Table walk with the per-flow match-action cache: the resolution of a
    class vector at a table — which rule fires and which installed action
    it names — is invariant until the controller changes the rule or
@@ -1112,10 +1189,10 @@ let rec walk t ~now pkt md msg_id classes out table_id hops =
     let entry =
       match Hashtbl.find cache classes with
       | e ->
-        t.e_counters.cache_hits <- t.e_counters.cache_hits + 1;
+        Tel.Counter.inc t.m_cache_hits;
         e
       | exception Not_found ->
-        t.e_counters.cache_misses <- t.e_counters.cache_misses + 1;
+        Tel.Counter.inc t.m_cache_misses;
         let e =
           match Hashtbl.find_opt t.e_tables table_id with
           | None -> C_none
@@ -1129,7 +1206,7 @@ let rec walk t ~now pkt md msg_id classes out table_id hops =
         in
         let len = Hashtbl.length cache in
         if len >= t.e_cache_cap then begin
-          t.e_counters.cache_evictions <- t.e_counters.cache_evictions + len;
+          Tel.Counter.add t.m_cache_evictions len;
           Hashtbl.reset cache
         end;
         Hashtbl.replace cache classes e;
@@ -1140,23 +1217,23 @@ let rec walk t ~now pkt md msg_id classes out table_id hops =
     | C_run (_rule, a) -> (
       match t.e_breaker with
       | None ->
-        t.e_counters.invocations <- t.e_counters.invocations + 1;
+        Tel.Counter.inc t.m_invocations;
         out.o_goto <- -1;
-        invoke_engine t a pkt md msg_id out ~now;
+        invoke_traced t a pkt md msg_id out ~now;
         if out.o_goto >= 0 && out.o_goto <> table_id then
           walk t ~now pkt md msg_id classes out out.o_goto (hops + 1)
       | Some cfg ->
         (* Quarantined action: matching packets fall through to default
            forwarding — [out] keeps its reset values, exactly as if no
            rule had matched (fail-open, but for the whole action). *)
-        if not (brk_admit a.a_brk ~now) then
-          t.e_counters.quarantined <- t.e_counters.quarantined + 1
+        if not (brk_admit a.a_brk ~now) then Tel.Counter.inc t.m_quarantined
         else begin
-          t.e_counters.invocations <- t.e_counters.invocations + 1;
+          Tel.Counter.inc t.m_invocations;
           out.o_goto <- -1;
-          let faults_before = t.e_counters.faults in
-          invoke_engine t a pkt md msg_id out ~now;
-          brk_record a.a_brk cfg ~now ~faulted:(t.e_counters.faults > faults_before);
+          let faults_before = Tel.Counter.get t.m_faults in
+          invoke_traced t a pkt md msg_id out ~now;
+          brk_record a.a_brk cfg ~now
+            ~faulted:(Tel.Counter.get t.m_faults > faults_before);
           if out.o_goto >= 0 && out.o_goto <> table_id then
             walk t ~now pkt md msg_id classes out out.o_goto (hops + 1)
         end)
@@ -1167,8 +1244,10 @@ let rec walk t ~now pkt md msg_id classes out table_id hops =
    handoff (paper 6, "Cycle budget"), not the action function itself. *)
 let process_one t ~now ~charge_classify (pkt : Packet.t) =
   let cost_before = Cost.Accum.overhead_total_ns t.e_cost in
-  let c = t.e_counters in
-  c.packets <- c.packets + 1;
+  Tel.Counter.inc t.m_packets;
+  (match t.e_trace with
+  | Some tr -> t.e_trace_armed <- Tel.Trace.begin_packet tr ~now ~pkt_id:pkt.Packet.id
+  | None -> ());
   Cost.Accum.add_vanilla t.e_cost t.e_cost_model;
   let stage_md = pkt.Packet.metadata in
   let has_stage_metadata = Metadata.msg_id stage_md <> None in
@@ -1186,13 +1265,43 @@ let process_one t ~now ~charge_classify (pkt : Packet.t) =
   pkt.Packet.metadata <- md;
   let msg_id = match Metadata.msg_id md with Some id -> id | None -> flow_id in
   let classes = Metadata.classes md in
+  (if t.e_trace_armed then
+     match t.e_trace with
+     | Some tr ->
+       Tel.Trace.set_classify tr (Cost.Accum.overhead_total_ns t.e_cost -. cost_before)
+     | None -> ());
   let out = t.e_out in
   reset_outputs out pkt;
+  let walk_before =
+    if t.e_trace_armed then Cost.Accum.overhead_total_ns t.e_cost else 0.0
+  in
   walk t ~now pkt md msg_id classes out 0 0;
   t.e_last_cost_ns <- Cost.Accum.overhead_total_ns t.e_cost -. cost_before;
-  if not t.e_enforce then Forward { queue = None; charge = Packet.wire_size pkt }
+  if t.e_timing then Tel.Histogram.observe t.h_process (int_of_float t.e_last_cost_ns);
+  (if t.e_trace_armed then
+     match t.e_trace with
+     | Some tr ->
+       (* Match stage: walk time not attributed to the action engine
+          (table/cache resolution plus per-packet bookkeeping). *)
+       let walk_ns = Cost.Accum.overhead_total_ns t.e_cost -. walk_before in
+       let residual = walk_ns -. Tel.Trace.current_action_ns tr in
+       Tel.Trace.set_match tr (if residual > 0.0 then residual else 0.0)
+     | None -> ());
+  let finish_trace verdict =
+    if t.e_trace_armed then begin
+      (match t.e_trace with
+      | Some tr -> Tel.Trace.finish tr ~verdict ~total_ns:t.e_last_cost_ns
+      | None -> ());
+      t.e_trace_armed <- false
+    end
+  in
+  if not t.e_enforce then begin
+    finish_trace Tel.Trace.Forwarded;
+    Forward { queue = None; charge = Packet.wire_size pkt }
+  end
   else if out.o_drop then begin
-    c.dropped <- c.dropped + 1;
+    Tel.Counter.inc t.m_dropped;
+    finish_trace Tel.Trace.Dropped;
     Dropped "action function set Drop"
   end
   else begin
@@ -1200,6 +1309,8 @@ let process_one t ~now ~charge_classify (pkt : Packet.t) =
     if out.o_path >= 0 then pkt.Packet.route_label <- Some out.o_path;
     let queue = if out.o_queue >= 0 then Some out.o_queue else None in
     let charge = if out.o_charge >= 0 then out.o_charge else Packet.wire_size pkt in
+    finish_trace
+      (match queue with Some q -> Tel.Trace.Queued q | None -> Tel.Trace.Forwarded);
     Forward { queue; charge }
   end
 

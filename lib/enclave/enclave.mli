@@ -198,6 +198,38 @@ val set_global_array : t -> action:string -> string -> int64 array -> (unit, str
 val get_global_array : t -> action:string -> string -> int64 array option
 
 val counters : t -> counters
+(** Snapshot of the data-path counters.  Deprecated: the counters now
+    live in the telemetry registry ({!telemetry} / {!scrape}); this
+    record is rebuilt from the registry cells on every call and is kept
+    for existing callers.  Note the change from earlier releases: the
+    returned record is a point-in-time copy, not a live view. *)
+
+(** {2 Telemetry}
+
+    Every enclave owns a {!Eden_telemetry.Registry.t} holding its
+    data-path counters ([eden_enclave_*_total]) and, when timing is on
+    (the default), cost-model stage histograms ([eden_enclave_process_ns],
+    [eden_enclave_exec_ns], [eden_enclave_marshal_ns]).  Cells are plain
+    int fields touched inline by the hot path; the registry is only
+    walked at {!scrape} time.  Sharded replicas each keep their own
+    registry and {!Eden_telemetry.Registry.merge} combines the scrapes. *)
+
+val telemetry : t -> Eden_telemetry.Registry.t
+val scrape : t -> Eden_telemetry.Registry.sample list
+
+val set_timing : t -> bool -> unit
+(** Toggle the stage-timing histograms (counters are always on).  Used
+    by the bench harness to measure the instrumentation's own cost. *)
+
+val timing : t -> bool
+
+val set_trace : t -> Eden_telemetry.Trace.t option -> unit
+(** Attach (or detach) a packet-path flight recorder.  With a recorder
+    attached, each processed packet costs one sampling check; sampled
+    packets additionally record classify/match/action stage timings and
+    the decision into the recorder's ring. *)
+
+val trace : t -> Eden_telemetry.Trace.t option
 
 (** {2 Sharding runtime hooks}
 
@@ -295,8 +327,10 @@ val config_equal : snapshot -> snapshot -> bool
 val snapshot_summary : snapshot -> string
 
 val faults : t -> fault_record list
-(** Most recent first; bounded (a fixed-size ring keeps recording O(1)
-    regardless of fault volume). *)
+(** Most recent first; bounded (a fixed-size {!Eden_telemetry.Ring}
+    keeps recording O(1) regardless of fault volume).  Deprecated alias
+    for reading the telemetry fault log; the fault {e count} lives in
+    the registry as [eden_enclave_faults_total]. *)
 
 val cost : t -> Cost.Accum.t
 val cost_model : t -> Cost.model

@@ -5,6 +5,7 @@ module Time = Eden_base.Time
 module Rng = Eden_base.Rng
 module P = Eden_bytecode.Program
 module Shardclass = Eden_bytecode.Shardclass
+module Tel = Eden_telemetry
 
 type event =
   | Ev_packet of Time.t * Packet.t
@@ -52,6 +53,16 @@ type t = {
       (* (action, field) -> base value for the delta merge; updated at
          enqueue time, i.e. at the event's sequential stream position *)
   mutable s_stopped : bool;
+  (* Front-end telemetry.  The enqueue-side cells are touched only by
+     the (single) feeder thread; worker-side numbers (parks, per-domain
+     processed) are synced from their racy sources at scrape time. *)
+  s_tel : Tel.Registry.t;
+  sm_enqueued : Tel.Counter.t;
+  sh_occupancy : Tel.Histogram.t;  (* ring depth seen at each enqueue *)
+  sm_bp_parks : Tel.Counter.t;
+  sm_cons_parks : Tel.Counter.t;
+  sg_domains : Tel.Gauge.t;
+  sm_domain_processed : Tel.Counter.t array;  (* per worker domain *)
 }
 
 let shards t = Array.length t.s_workers
@@ -235,10 +246,32 @@ let create ?shards ?(parallel = true) ?(ring_capacity = 1024) ?(batch = 64) sour
               })
             replicas
         in
+        let tel = Tel.Registry.create () in
         let t =
           { s_workers = workers; s_parallel = parallel; s_batch = batch; s_classes = classes;
-            s_locks; s_delta; s_stopped = false }
+            s_locks; s_delta; s_stopped = false;
+            s_tel = tel;
+            sm_enqueued =
+              Tel.Registry.counter tel ~help:"Items enqueued to worker rings"
+                "eden_shard_enqueued_total";
+            sh_occupancy =
+              Tel.Registry.histogram tel ~help:"Ring occupancy seen at enqueue"
+                "eden_shard_ring_occupancy";
+            sm_bp_parks =
+              Tel.Registry.counter tel ~help:"Feeder parks on a full ring"
+                "eden_shard_backpressure_parks_total";
+            sm_cons_parks =
+              Tel.Registry.counter tel ~help:"Worker parks on an empty ring"
+                "eden_shard_consumer_parks_total";
+            sg_domains = Tel.Registry.gauge tel ~help:"Worker domains" "eden_shard_domains";
+            sm_domain_processed =
+              Array.init n (fun i ->
+                  Tel.Registry.counter tel
+                    ~help:(Printf.sprintf "Items processed by worker domain %d" i)
+                    (Printf.sprintf "eden_shard_domain%d_processed_total" i));
+          }
         in
+        Tel.Gauge.set_int t.sg_domains n;
         if parallel then
           Array.iter
             (fun w -> w.w_domain <- Some (Domain.spawn (fun () -> worker_loop t w batch)))
@@ -251,7 +284,9 @@ let create ?shards ?(parallel = true) ?(ring_capacity = 1024) ?(batch = 64) sour
 
 let check_live t name = if t.s_stopped then invalid_arg (name ^ ": shard runtime stopped")
 
-let enqueue w item =
+let enqueue t w item =
+  Tel.Histogram.observe t.sh_occupancy (Spsc.length w.w_ring);
+  Tel.Counter.inc t.sm_enqueued;
   Spsc.push w.w_ring item;
   w.w_pushed <- w.w_pushed + 1
 
@@ -291,15 +326,15 @@ let dispatch t res idx ev =
   | Ev_packet (now, pkt) ->
     let w = t.s_workers.(route t pkt) in
     let item = I_packet { pkt; now; idx; res } in
-    if t.s_parallel then enqueue w item else exec_item t w item
+    if t.s_parallel then enqueue t w item else exec_item t w item
   | Ev_set_global { action; name; value } ->
     note_ctl_base t ev;
     let item = I_set_global { action; name; value } in
-    Array.iter (fun w -> if t.s_parallel then enqueue w item else exec_item t w item) t.s_workers
+    Array.iter (fun w -> if t.s_parallel then enqueue t w item else exec_item t w item) t.s_workers
   | Ev_set_global_array { action; name; values } ->
     note_ctl_base t ev;
     let item = I_set_global_array { action; name; values } in
-    Array.iter (fun w -> if t.s_parallel then enqueue w item else exec_item t w item) t.s_workers
+    Array.iter (fun w -> if t.s_parallel then enqueue t w item else exec_item t w item) t.s_workers
 
 let process_stream t events =
   check_live t "Shard.process_stream";
@@ -312,7 +347,7 @@ let feed t ~now pkt =
   check_live t "Shard.feed";
   let w = t.s_workers.(route t pkt) in
   let item = I_fire { pkt; now } in
-  if t.s_parallel then enqueue w item else exec_item t w item
+  if t.s_parallel then enqueue t w item else exec_item t w item
 
 (* ------------------------------------------------------------------ *)
 (* Merged observation *)
@@ -379,14 +414,55 @@ let get_global_array t ~action name =
 let backpressure_waits t =
   Array.fold_left (fun acc w -> acc + Spsc.backpressure_waits w.w_ring) 0 t.s_workers
 
+let consumer_parks t =
+  Array.fold_left (fun acc w -> acc + Spsc.consumer_parks w.w_ring) 0 t.s_workers
+
 let worker_errors t =
   Array.fold_left (fun acc w -> acc + Atomic.get w.w_errors) 0 t.s_workers
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry *)
+
+(* Pull worker-side numbers (owned by other domains, read racily like
+   [counters]) into the front-end registry cells. *)
+let sync_telemetry t =
+  Tel.Gauge.set_int t.sg_domains (Array.length t.s_workers);
+  Tel.Counter.set t.sm_bp_parks (backpressure_waits t);
+  Tel.Counter.set t.sm_cons_parks (consumer_parks t);
+  Array.iteri
+    (fun i w -> Tel.Counter.set t.sm_domain_processed.(i) (Atomic.get w.w_processed))
+    t.s_workers
+
+let scrape t =
+  drain t;
+  sync_telemetry t;
+  Tel.Registry.merge
+    (Tel.Registry.scrape t.s_tel
+    :: Array.to_list (Array.map (fun w -> Enclave.scrape w.w_enclave) t.s_workers))
+
+let worker_scrape t i =
+  drain t;
+  Enclave.scrape t.s_workers.(i).w_enclave
+
+let set_timing t b = Array.iter (fun w -> Enclave.set_timing w.w_enclave b) t.s_workers
+
+let attach_traces t ?(capacity = 256) ~every () =
+  Array.iter
+    (fun w ->
+      Enclave.set_trace w.w_enclave
+        (Some
+           (Tel.Trace.create ~seed:(Enclave.seed w.w_enclave) ~every ~capacity ())))
+    t.s_workers
+
+let detach_traces t = Array.iter (fun w -> Enclave.set_trace w.w_enclave None) t.s_workers
+
+let worker_trace t i = Enclave.trace t.s_workers.(i).w_enclave
 
 let stop t =
   if not t.s_stopped then begin
     t.s_stopped <- true;
     if t.s_parallel then begin
-      Array.iter (fun w -> enqueue w I_stop) t.s_workers;
+      Array.iter (fun w -> enqueue t w I_stop) t.s_workers;
       Array.iter
         (fun w ->
           match w.w_domain with

@@ -106,6 +106,33 @@ val get_global_array : t -> action:string -> string -> int64 array option
 val backpressure_waits : t -> int
 (** Total producer parks on full rings (0 in serial mode). *)
 
+val consumer_parks : t -> int
+(** Total worker parks on empty rings (0 in serial mode). *)
+
+(** {2 Telemetry}
+
+    Each replica owns its own registry (contention-free hot path); the
+    front-end adds ring/feeder metrics ([eden_shard_*]: enqueue count,
+    occupancy histogram, park counters, per-domain processed).  [scrape]
+    drains, syncs worker-side numbers, and merges all registries into
+    cluster totals. *)
+
+val scrape : t -> Eden_telemetry.Registry.sample list
+
+val worker_scrape : t -> int -> Eden_telemetry.Registry.sample list
+(** One replica's scrape (drains first); index in [\[0, shards)]. *)
+
+val set_timing : t -> bool -> unit
+(** Toggle stage-timing histograms on every replica. *)
+
+val attach_traces : t -> ?capacity:int -> every:int -> unit -> unit
+(** Attach a flight recorder to every replica, seeded with the replica's
+    own [Rng.stream_seed]-derived seed so sampling is deterministic per
+    shard (default [capacity] 256). *)
+
+val detach_traces : t -> unit
+val worker_trace : t -> int -> Eden_telemetry.Trace.t option
+
 val worker_errors : t -> int
 (** Exceptions escaping {!Enclave.process} on workers — always 0 unless
     something is badly wrong; surfaced so tests can assert it. *)

@@ -25,6 +25,7 @@ type 'a t = {
   cons_waiting : bool Atomic.t;
   prod_waiting : bool Atomic.t;
   mutable bp_waits : int;  (* producer-side, read racily for stats *)
+  mutable cons_parks : int;  (* consumer-side, read racily for stats *)
 }
 
 let create ~dummy capacity =
@@ -45,6 +46,7 @@ let create ~dummy capacity =
     cons_waiting = Atomic.make false;
     prod_waiting = Atomic.make false;
     bp_waits = 0;
+    cons_parks = 0;
   }
 
 let capacity t = t.mask + 1
@@ -117,6 +119,7 @@ let pop_batch_wait t buf =
     else begin
       Mutex.lock t.lock;
       Atomic.set t.cons_waiting true;
+      t.cons_parks <- t.cons_parks + 1;
       while Atomic.get t.tail = Atomic.get t.head do
         Condition.wait t.not_empty t.lock
       done;
@@ -128,3 +131,4 @@ let pop_batch_wait t buf =
   attempt spin_budget
 
 let backpressure_waits t = t.bp_waits
+let consumer_parks t = t.cons_parks

@@ -41,3 +41,7 @@ val pop_batch_wait : 'a t -> 'a array -> int
 
 val backpressure_waits : 'a t -> int
 (** How many times the producer had to park on a full ring. *)
+
+val consumer_parks : 'a t -> int
+(** How many times the consumer exhausted its spin budget and parked on
+    an empty ring — the shard telemetry's idle-worker signal. *)

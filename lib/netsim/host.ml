@@ -4,6 +4,7 @@ module Time = Eden_base.Time
 module Rng = Eden_base.Rng
 module Enclave = Eden_enclave.Enclave
 module Token_bucket = Eden_enclave.Queueing.Token_bucket
+module Tel = Eden_telemetry
 
 type rate_queue = { bucket : Token_bucket.t }
 
@@ -23,9 +24,14 @@ type t = {
   rate_queues : (int, rate_queue) Hashtbl.t;
   mutable next_port : int;
   mutable enclave_drops : int;
+  tel : Tel.Registry.t;
+  hm_tx : Tel.Counter.t;
+  hm_rx : Tel.Counter.t;
+  hm_enclave_drops : Tel.Counter.t;
 }
 
 let create ?(seed = 0x05EAL) ev ~id ~alloc_packet_id =
+  let tel = Tel.Registry.create () in
   {
     id;
     ev;
@@ -47,6 +53,12 @@ let create ?(seed = 0x05EAL) ev ~id ~alloc_packet_id =
     rate_queues = Hashtbl.create 4;
     next_port = 10_000;
     enclave_drops = 0;
+    tel;
+    hm_tx = Tel.Registry.counter tel ~help:"Packets submitted for transmit" "eden_host_tx_packets_total";
+    hm_rx = Tel.Registry.counter tel ~help:"Packets arriving from the network" "eden_host_rx_packets_total";
+    hm_enclave_drops =
+      Tel.Registry.counter tel ~help:"Packets dropped by egress or ingress enclave"
+        "eden_host_enclave_drops_total";
   }
 
 let id t = t.id
@@ -85,6 +97,7 @@ let nic_send_after t delay pkt =
   else nic_send t pkt
 
 let transmit t pkt =
+  Tel.Counter.inc t.hm_tx;
   match t.enclave with
   | None -> nic_send_after t (jitter t) pkt
   | Some enclave -> (
@@ -95,7 +108,9 @@ let transmit t pkt =
        packet, enclave or not. *)
     let cpu = Time.add (Time.of_float_ns (Enclave.last_process_cost_ns enclave)) (jitter t) in
     match decision with
-    | Enclave.Dropped _ -> t.enclave_drops <- t.enclave_drops + 1
+    | Enclave.Dropped _ ->
+      t.enclave_drops <- t.enclave_drops + 1;
+      Tel.Counter.inc t.hm_enclave_drops
     | Enclave.Forward { queue = None; charge = _ } -> nic_send_after t cpu pkt
     | Enclave.Forward { queue = Some q; charge } -> (
       match Hashtbl.find_opt t.rate_queues q with
@@ -127,11 +142,14 @@ let deliver t (pkt : Packet.t) =
    classifies arriving packets before the transport sees them — the
    paper's enclave observes packets being sent *and* received. *)
 let receive t (pkt : Packet.t) =
+  Tel.Counter.inc t.hm_rx;
   match t.ingress_enclave with
   | None -> deliver t pkt
   | Some enclave -> (
     match Enclave.process enclave ~now:(Event.now t.ev) pkt with
-    | Enclave.Dropped _ -> t.enclave_drops <- t.enclave_drops + 1
+    | Enclave.Dropped _ ->
+      t.enclave_drops <- t.enclave_drops + 1;
+      Tel.Counter.inc t.hm_enclave_drops
     | Enclave.Forward _ ->
       let cpu = Time.of_float_ns (Enclave.last_process_cost_ns enclave) in
       if Time.( > ) cpu Time.zero then
@@ -156,3 +174,9 @@ let fresh_port t =
   p
 
 let packets_dropped_by_enclave t = t.enclave_drops
+let telemetry t = t.tel
+
+let scrape t =
+  let encl = function Some e -> [ Enclave.scrape e ] | None -> [] in
+  Tel.Registry.merge
+    ((Tel.Registry.scrape t.tel :: encl t.enclave) @ encl t.ingress_enclave)

@@ -61,3 +61,13 @@ val fresh_port : t -> int
 (** Ephemeral source ports, unique per host. *)
 
 val packets_dropped_by_enclave : t -> int
+
+(** {2 Telemetry} *)
+
+val telemetry : t -> Eden_telemetry.Registry.t
+(** Per-host registry ([eden_host_*]: tx/rx packet counts, enclave
+    drops), bumped live on the simulated data path. *)
+
+val scrape : t -> Eden_telemetry.Registry.sample list
+(** Host metrics merged with the attached egress and ingress enclaves'
+    registries ([eden_enclave_*]). *)

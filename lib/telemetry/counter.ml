@@ -1,0 +1,8 @@
+type t = { mutable v : int }
+
+let create () = { v = 0 }
+let inc t = t.v <- t.v + 1
+let add t n = t.v <- t.v + n
+let get t = t.v
+let set t n = t.v <- n
+let reset t = t.v <- 0

@@ -1,0 +1,19 @@
+(** Monotone event counter.
+
+    A counter is a single mutable [int] cell.  The hot path touches
+    nothing else: [inc] is one load, one add, one store — no atomics, no
+    boxing, no indirection through the registry.  Contention is avoided
+    structurally (one registry instance per shard, merged at scrape
+    time), not with synchronisation. *)
+
+type t
+
+val create : unit -> t
+val inc : t -> unit
+val add : t -> int -> unit
+val get : t -> int
+val set : t -> int -> unit
+(** [set] exists for re-synchronising a cell from a legacy field and for
+    [restart] paths; metric semantics remain monotone between resets. *)
+
+val reset : t -> unit

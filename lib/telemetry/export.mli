@@ -1,0 +1,20 @@
+(** Exposition formats for registry scrapes.
+
+    Three views over the same [Registry.sample list]: a human table for
+    the terminal, Prometheus text exposition (counters/gauges as-is,
+    histograms as cumulative [_bucket{le=...}] series plus [_sum] /
+    [_count]), and a JSON document.  All three are deterministic given a
+    scrape, so they can be golden-tested, and the JSON view round-trips
+    through {!Json.parse}. *)
+
+val to_table : Registry.sample list -> string
+(** Aligned human-readable table; histograms show count / mean / p50 /
+    p99 / max. *)
+
+val to_prometheus : Registry.sample list -> string
+(** Prometheus text exposition format. *)
+
+val to_json : Registry.sample list -> Json.t
+(** [{ "metrics": [ {name, kind, ...} ] }]. *)
+
+val to_json_string : Registry.sample list -> string

@@ -1,0 +1,8 @@
+type t = { mutable v : float }
+
+let create () = { v = 0.0 }
+let set t v = t.v <- v
+let set_int t v = t.v <- float_of_int v
+let add t v = t.v <- t.v +. v
+let get t = t.v
+let reset t = t.v <- 0.0

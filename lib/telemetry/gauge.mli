@@ -1,0 +1,15 @@
+(** Point-in-time gauge.
+
+    A single mutable [float] cell.  Gauges are written on cold paths
+    (scrape-time synchronisation, occupancy snapshots), so the boxing a
+    float store implies is acceptable; counters and histograms carry the
+    hot path. *)
+
+type t
+
+val create : unit -> t
+val set : t -> float -> unit
+val set_int : t -> int -> unit
+val add : t -> float -> unit
+val get : t -> float
+val reset : t -> unit

@@ -1,0 +1,35 @@
+(** Minimal JSON tree, printer, and recursive-descent parser.
+
+    Just enough JSON for the telemetry exports and the bench baseline
+    comparator: objects, arrays, strings (with \u escapes), numbers,
+    booleans, null.  The printer is deterministic (insertion order for
+    object members, [%.17g]-shortest float rendering with integral
+    floats printed as integers), which is what lets the export formats
+    be golden-tested. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete document; trailing garbage is an error.  Errors
+    carry a byte offset. *)
+
+val to_string : t -> string
+(** Compact rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering. *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on missing member or non-object. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_bool : t -> bool option

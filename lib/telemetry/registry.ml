@@ -1,0 +1,137 @@
+type cell =
+  | C of Counter.t
+  | G of Gauge.t
+  | H of Histogram.t
+
+type metric = { m_name : string; m_help : string; m_cell : cell }
+
+type t = {
+  mutable metrics : metric list;  (* reverse registration order *)
+  tbl : (string, metric) Hashtbl.t;
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      buckets : (int * int) list;
+      count : int;
+      sum : int;
+      max : int;
+    }
+
+type sample = { s_name : string; s_help : string; s_value : value }
+
+let create () = { metrics = []; tbl = Hashtbl.create 32 }
+
+let register t name help cell =
+  let m = { m_name = name; m_help = help; m_cell = cell } in
+  t.metrics <- m :: t.metrics;
+  Hashtbl.replace t.tbl name m;
+  m
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let mismatch name want got =
+  invalid_arg
+    (Printf.sprintf "Registry: %s already registered as a %s, wanted a %s" name
+       (kind_name got) want)
+
+let counter t ?(help = "") name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some { m_cell = C c; _ } -> c
+  | Some { m_cell; _ } -> mismatch name "counter" m_cell
+  | None ->
+      let c = Counter.create () in
+      ignore (register t name help (C c));
+      c
+
+let gauge t ?(help = "") name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some { m_cell = G g; _ } -> g
+  | Some { m_cell; _ } -> mismatch name "gauge" m_cell
+  | None ->
+      let g = Gauge.create () in
+      ignore (register t name help (G g));
+      g
+
+let histogram t ?(help = "") name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some { m_cell = H h; _ } -> h
+  | Some { m_cell; _ } -> mismatch name "histogram" m_cell
+  | None ->
+      let h = Histogram.create () in
+      ignore (register t name help (H h));
+      h
+
+let sample_of m =
+  let v =
+    match m.m_cell with
+    | C c -> Counter (Counter.get c)
+    | G g -> Gauge (Gauge.get g)
+    | H h ->
+        Histogram
+          {
+            buckets = Histogram.buckets h;
+            count = Histogram.count h;
+            sum = Histogram.sum h;
+            max = Histogram.max_value h;
+          }
+  in
+  { s_name = m.m_name; s_help = m.m_help; s_value = v }
+
+let scrape t = List.rev_map sample_of t.metrics
+
+let merge_buckets a b =
+  (* Both lists are (upper_bound, count) ascending with boundaries drawn
+     from the same fixed scale; a sorted merge adding equal bounds. *)
+  let rec go a b =
+    match (a, b) with
+    | [], r | r, [] -> r
+    | (ub_a, ca) :: ta, (ub_b, cb) :: tb ->
+        if ub_a = ub_b then (ub_a, ca + cb) :: go ta tb
+        else if ub_a < ub_b then (ub_a, ca) :: go ta b
+        else (ub_b, cb) :: go a tb
+  in
+  go a b
+
+let merge_value name a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge x, Gauge y -> Gauge (x +. y)
+  | Histogram x, Histogram y ->
+      Histogram
+        {
+          buckets = merge_buckets x.buckets y.buckets;
+          count = x.count + y.count;
+          sum = x.sum + y.sum;
+          max = (if x.max >= y.max then x.max else y.max);
+        }
+  | _ -> invalid_arg (Printf.sprintf "Registry.merge: kind mismatch for %s" name)
+
+let merge scrapes =
+  let order = ref [] in
+  let acc : (string, sample) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun samples ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt acc s.s_name with
+          | None ->
+              order := s.s_name :: !order;
+              Hashtbl.replace acc s.s_name s
+          | Some prev ->
+              Hashtbl.replace acc s.s_name
+                { prev with s_value = merge_value s.s_name prev.s_value s.s_value })
+        samples)
+    scrapes;
+  List.rev_map (fun name -> Hashtbl.find acc name) !order
+
+let reset t =
+  List.iter
+    (fun m ->
+      match m.m_cell with
+      | C c -> Counter.reset c
+      | G g -> Gauge.reset g
+      | H h -> Histogram.reset h)
+    t.metrics

@@ -1,0 +1,48 @@
+(** Metric registry: named cells, snapshot scrape, cross-shard merge.
+
+    A registry is a cold-path directory of hot-path cells.  Components
+    create their cells once (at construction / install time) and then
+    touch only the cells while processing packets; the registry itself
+    is consulted only when somebody scrapes.
+
+    The sharded data path keeps one registry instance per shard replica
+    so that workers never share a cache line; [merge] combines their
+    scrapes into cluster totals (counters and gauges sum, histograms
+    merge bucket-wise — exact because bucket boundaries are a pure
+    function of the index). *)
+
+type t
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      buckets : (int * int) list;  (** (upper_bound_exclusive, count) *)
+      count : int;
+      sum : int;
+      max : int;
+    }
+
+type sample = { s_name : string; s_help : string; s_value : value }
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> string -> Counter.t
+(** [counter t name] returns the counter registered under [name],
+    creating it on first use.  Raises [Invalid_argument] if [name] is
+    already registered with a different metric kind. *)
+
+val gauge : t -> ?help:string -> string -> Gauge.t
+val histogram : t -> ?help:string -> string -> Histogram.t
+
+val scrape : t -> sample list
+(** Snapshot of every metric, in registration order. *)
+
+val merge : sample list list -> sample list
+(** Merge scrapes from several registry instances.  Metrics are matched
+    by name (first-seen order preserved, help from the first instance);
+    counters and gauges sum, histograms merge bucket-wise.  Raises
+    [Invalid_argument] on a kind mismatch between instances. *)
+
+val reset : t -> unit
+(** Reset every cell to zero (enclave [restart] semantics). *)

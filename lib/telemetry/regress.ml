@@ -1,0 +1,283 @@
+type row = {
+  r_section : string;
+  r_name : string;
+  r_quick : bool;
+  r_ns_per_op : float;
+  r_steps : int option;
+}
+
+type baseline = {
+  b_cores : int;
+  b_default_tol : float;
+  b_tols : (string * float) list;
+  b_core_sensitive : string list;
+  b_min_ns : float;
+  b_rows : row list;
+}
+
+type finding =
+  | Regression of { row : row; base : row; tol : float }
+  | Steps_mismatch of { row : row; base : row }
+  | Missing of row
+  | Improvement of { row : row; base : row }
+  | New_row of row
+
+type report = {
+  findings : finding list;
+  regressions : int;
+  compared : int;
+  skipped_sections : string list;
+}
+
+let default_tolerance = 2.0
+let default_core_sensitive = [ "parallel"; "telemetry" ]
+let default_min_ns = 5.0
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let ( let* ) r f = Result.bind r f
+
+let parse_row j =
+  let str k =
+    match Option.bind (Json.member k j) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "row missing string field %S" k)
+  in
+  let* section = str "section" in
+  let* name = str "name" in
+  let* ns =
+    match Option.bind (Json.member "ns_per_op" j) Json.to_float with
+    | Some f -> Ok f
+    | None -> Error "row missing numeric field \"ns_per_op\""
+  in
+  let quick =
+    match
+      Option.bind (Json.member "params" j) (fun p ->
+          Option.bind (Json.member "quick" p) Json.to_bool)
+    with
+    | Some b -> b
+    | None -> false
+  in
+  let steps =
+    match Json.member "steps" j with
+    | Some (Json.Num _ as n) -> Json.to_int n
+    | _ -> None
+  in
+  Ok
+    {
+      r_section = section;
+      r_name = name;
+      r_quick = quick;
+      r_ns_per_op = ns;
+      r_steps = steps;
+    }
+
+let parse_rows j =
+  match Json.to_list j with
+  | None -> Error "expected a JSON array of bench rows"
+  | Some items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest ->
+            let* row = parse_row item in
+            go (row :: acc) rest
+      in
+      go [] items
+
+let parse_baseline j =
+  let* rows =
+    match Json.member "rows" j with
+    | Some r -> parse_rows r
+    | None -> Error "baseline missing \"rows\""
+  in
+  let meta = Option.value (Json.member "meta" j) ~default:(Json.Obj []) in
+  let num k default =
+    match Option.bind (Json.member k meta) Json.to_float with
+    | Some f -> f
+    | None -> default
+  in
+  let cores =
+    match Option.bind (Json.member "cores" meta) Json.to_int with
+    | Some c -> c
+    | None -> 1
+  in
+  let tols =
+    match Json.member "tolerance" meta with
+    | Some (Json.Obj members) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float v))
+          members
+    | _ -> []
+  in
+  let core_sensitive =
+    match Option.bind (Json.member "core_sensitive" meta) Json.to_list with
+    | Some items -> List.filter_map Json.to_str items
+    | None -> default_core_sensitive
+  in
+  Ok
+    {
+      b_cores = cores;
+      b_default_tol = num "default_tolerance" default_tolerance;
+      b_tols = tols;
+      b_core_sensitive = core_sensitive;
+      b_min_ns = num "min_ns" default_min_ns;
+      b_rows = rows;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Comparison *)
+
+let tolerance_for b section =
+  match List.assoc_opt section b.b_tols with
+  | Some t -> t
+  | None -> b.b_default_tol
+
+let key r = (r.r_section, r.r_name)
+
+let compare b current ~cores =
+  let skipped =
+    if cores >= b.b_cores then []
+    else List.filter (fun s -> s <> "") b.b_core_sensitive
+  in
+  let is_skipped section = List.mem section skipped in
+  let cur_tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace cur_tbl (key r) r) current;
+  let base_keys = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace base_keys (key r) ()) b.b_rows;
+  let findings = ref [] and regressions = ref 0 and compared = ref 0 in
+  let emit ?(bad = false) f =
+    findings := f :: !findings;
+    if bad then incr regressions
+  in
+  List.iter
+    (fun base ->
+      if not (is_skipped base.r_section) then
+        match Hashtbl.find_opt cur_tbl (key base) with
+        | None -> emit ~bad:true (Missing base)
+        | Some row ->
+            incr compared;
+            let tol = tolerance_for b base.r_section in
+            let steps_differ =
+              match (base.r_steps, row.r_steps) with
+              | Some a, Some c -> a <> c
+              | _ -> false
+            in
+            if steps_differ then emit ~bad:true (Steps_mismatch { row; base })
+            else if
+              base.r_ns_per_op >= b.b_min_ns
+              && row.r_ns_per_op > base.r_ns_per_op *. (1.0 +. tol)
+            then emit ~bad:true (Regression { row; base; tol })
+            else if
+              base.r_ns_per_op >= b.b_min_ns
+              && row.r_ns_per_op < base.r_ns_per_op *. 0.75
+            then emit (Improvement { row; base }))
+    b.b_rows;
+  List.iter
+    (fun row ->
+      if
+        (not (Hashtbl.mem base_keys (key row)))
+        && not (is_skipped row.r_section)
+      then emit (New_row row))
+    current;
+  let severity = function
+    | Regression _ | Steps_mismatch _ | Missing _ -> 0
+    | Improvement _ -> 1
+    | New_row _ -> 2
+  in
+  let findings =
+    List.stable_sort
+      (fun a b -> Stdlib.compare (severity a) (severity b))
+      (List.rev !findings)
+  in
+  {
+    findings;
+    regressions = !regressions;
+    compared = !compared;
+    skipped_sections = skipped;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let render report =
+  let buf = Buffer.create 512 in
+  let p fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  if report.skipped_sections <> [] then
+    p "SKIPPED (fewer cores than baseline machine): %s"
+      (String.concat ", " report.skipped_sections);
+  List.iter
+    (fun f ->
+      match f with
+      | Regression { row; base; tol } ->
+          p "REGRESSION  %s/%s: %.1f ns/op vs baseline %.1f ns/op (+%.0f%%, tolerance +%.0f%%)"
+            row.r_section row.r_name row.r_ns_per_op base.r_ns_per_op
+            ((row.r_ns_per_op /. base.r_ns_per_op -. 1.0) *. 100.0)
+            (tol *. 100.0)
+      | Steps_mismatch { row; base } ->
+          p "REGRESSION  %s/%s: steps %s vs baseline %s (deterministic count must match)"
+            row.r_section row.r_name
+            (match row.r_steps with Some s -> string_of_int s | None -> "-")
+            (match base.r_steps with Some s -> string_of_int s | None -> "-")
+      | Missing base ->
+          p "REGRESSION  %s/%s: present in baseline but missing from this run"
+            base.r_section base.r_name
+      | Improvement { row; base } ->
+          p "improved    %s/%s: %.1f ns/op vs baseline %.1f ns/op (%.0f%% faster)"
+            row.r_section row.r_name row.r_ns_per_op base.r_ns_per_op
+            ((1.0 -. (row.r_ns_per_op /. base.r_ns_per_op)) *. 100.0)
+      | New_row row ->
+          p "new row     %s/%s (not in baseline; refresh with --update)"
+            row.r_section row.r_name)
+    report.findings;
+  p "%d row(s) compared, %d regression(s)%s" report.compared report.regressions
+    (if report.skipped_sections = [] then ""
+     else Printf.sprintf ", %d section(s) skipped"
+            (List.length report.skipped_sections));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Baseline construction / serialisation *)
+
+let baseline_of_rows ~prev ~cores rows =
+  match prev with
+  | Some b -> { b with b_cores = cores; b_rows = rows }
+  | None ->
+      {
+        b_cores = cores;
+        b_default_tol = default_tolerance;
+        b_tols = [];
+        b_core_sensitive = default_core_sensitive;
+        b_min_ns = default_min_ns;
+        b_rows = rows;
+      }
+
+let row_to_json r =
+  Json.Obj
+    [
+      ("section", Json.Str r.r_section);
+      ("name", Json.Str r.r_name);
+      ("params", Json.Obj [ ("quick", Json.Bool r.r_quick) ]);
+      ("ns_per_op", Json.Num r.r_ns_per_op);
+      ( "steps",
+        match r.r_steps with
+        | Some s -> Json.Num (float_of_int s)
+        | None -> Json.Null );
+    ]
+
+let baseline_to_json b =
+  Json.Obj
+    [
+      ( "meta",
+        Json.Obj
+          [
+            ("cores", Json.Num (float_of_int b.b_cores));
+            ("default_tolerance", Json.Num b.b_default_tol);
+            ( "tolerance",
+              Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) b.b_tols) );
+            ( "core_sensitive",
+              Json.Arr (List.map (fun s -> Json.Str s) b.b_core_sensitive) );
+            ("min_ns", Json.Num b.b_min_ns);
+          ] );
+      ("rows", Json.Arr (List.map row_to_json b.b_rows));
+    ]

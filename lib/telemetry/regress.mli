@@ -1,0 +1,77 @@
+(** Bench baseline comparator — the logic behind [bench/check_regress.exe].
+
+    A committed [bench/baseline.json] pins the expected bench rows
+    together with the tolerance policy used to judge them:
+
+    {v
+    { "meta": { "cores": 8,
+                "default_tolerance": 2.0,
+                "tolerance": { "micro": 2.0, ... },
+                "core_sensitive": ["parallel", "telemetry"],
+                "min_ns": 5.0 },
+      "rows": [ {"section","name","params":{"quick":bool},
+                 "ns_per_op", "steps"} ... ] }
+    v}
+
+    Timing rows regress when [ns_per_op] exceeds
+    [baseline * (1 + tolerance)] for their section; [steps] rows are
+    deterministic interpreter step counts and must match exactly.
+    Sections listed in [core_sensitive] are skipped loudly when the
+    current machine has fewer cores than the baseline machine — a
+    laptop must not fail the gate recorded on a larger box.  Rows
+    whose baseline is under [min_ns] are too close to timer noise for
+    a relative band and only have their [steps] checked. *)
+
+type row = {
+  r_section : string;
+  r_name : string;
+  r_quick : bool;
+  r_ns_per_op : float;
+  r_steps : int option;
+}
+
+type baseline = {
+  b_cores : int;
+  b_default_tol : float;
+  b_tols : (string * float) list;  (** per-section overrides *)
+  b_core_sensitive : string list;
+  b_min_ns : float;
+  b_rows : row list;
+}
+
+type finding =
+  | Regression of { row : row; base : row; tol : float }
+  | Steps_mismatch of { row : row; base : row }
+  | Missing of row  (** baseline row absent from the current run *)
+  | Improvement of { row : row; base : row }  (** >= 25% faster *)
+  | New_row of row  (** current row absent from the baseline *)
+
+type report = {
+  findings : finding list;
+  regressions : int;  (** Regression + Steps_mismatch + Missing *)
+  compared : int;
+  skipped_sections : string list;
+}
+
+val parse_rows : Json.t -> (row list, string) result
+(** Accepts the bench [--json] output: a bare array of row objects. *)
+
+val parse_baseline : Json.t -> (baseline, string) result
+
+val compare : baseline -> row list -> cores:int -> report
+(** Compare a current run against the baseline on a machine with
+    [cores] cores. *)
+
+val render : report -> string
+(** Human-readable report, regressions first. *)
+
+val baseline_of_rows :
+  prev:baseline option -> cores:int -> row list -> baseline
+(** Build a fresh baseline from a run, inheriting the tolerance policy
+    from [prev] when given (defaults otherwise). *)
+
+val baseline_to_json : baseline -> Json.t
+
+val default_tolerance : float
+val default_core_sensitive : string list
+val default_min_ns : float

@@ -1,0 +1,34 @@
+type 'a t = {
+  slots : 'a option array;
+  mutable next : int;
+  mutable count : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { slots = Array.make capacity None; next = 0; count = 0 }
+
+let capacity t = Array.length t.slots
+
+let push t x =
+  let cap = Array.length t.slots in
+  t.slots.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod cap;
+  if t.count < cap then t.count <- t.count + 1
+
+let length t = t.count
+
+let to_list t =
+  let cap = Array.length t.slots in
+  let out = ref [] in
+  for k = t.count downto 1 do
+    (* k-th newest lives at next - k (mod cap). *)
+    let i = ((t.next - k) mod cap + cap) mod cap in
+    match t.slots.(i) with None -> () | Some x -> out := x :: !out
+  done;
+  !out
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.next <- 0;
+  t.count <- 0

@@ -1,0 +1,20 @@
+(** Fixed-capacity overwrite ring.
+
+    Keeps the most recent [capacity] entries; pushing into a full ring
+    silently replaces the oldest.  This is the storage discipline shared
+    by the enclave fault log and the flight recorder: bounded memory,
+    newest-first inspection, O(1) push. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] — requires [capacity > 0]. *)
+
+val push : 'a t -> 'a -> unit
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val to_list : 'a t -> 'a list
+(** Newest first. *)
+
+val clear : 'a t -> unit
